@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation A3 — AES key recovery from cache dumps vs bit-error rate.
+ *
+ * A CaSE-style victim keeps an AES-128 key schedule in locked cache
+ * lines. The bench compares the attacker's end game under (a) Volt Boot
+ * (error-free dump: the keyfinder locates the schedule immediately) and
+ * (b) synthetic dumps at increasing bit-error rates standing in for
+ * cold-boot-grade corruption: the schedule scan degrades and then fails,
+ * reproducing the paper's argument that SRAM's bistable errors defeat
+ * cold-boot-style key reconstruction while Volt Boot needs no
+ * correction at all.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/analysis.hh"
+#include "core/attack.hh"
+#include "crypto/key_finder.hh"
+#include "crypto/onchip_crypto.hh"
+#include "os/baremetal.hh"
+#include "sim/rng.hh"
+#include "soc/soc.hh"
+
+using namespace voltboot;
+
+int
+main()
+{
+    bench::banner("Ablation A3",
+                  "AES key recovery from L1D dumps vs bit-error rate");
+
+    const std::vector<uint8_t> key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                      0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                      0x09, 0xcf, 0x4f, 0x3c};
+
+    // --- (a) the real attack: Volt Boot on a CaSE victim ---
+    Soc soc(SocConfig::bcm2711());
+    soc.powerOn();
+    Cache &l1d = soc.memory().l1d(0);
+    l1d.invalidateAll();
+    l1d.setEnabled(true);
+    std::vector<uint8_t> binary(256, 0x90);
+    const uint64_t base = soc.config().dram_base + 0x40000;
+    CaseExecution cas(l1d, base, binary, key);
+
+    VoltBootAttack attack(soc);
+    attack.execute();
+    const MemoryImage dump = attack.dumpL1(0, L1Ram::DData);
+
+    KeyFinder finder;
+    const auto hit = finder.best(dump);
+    std::cout << "Volt Boot dump (" << dump.sizeBytes()
+              << " bytes): " << (hit ? "KEY RECOVERED" : "no key") << "\n";
+    if (hit) {
+        std::cout << "  key bytes: ";
+        for (uint8_t b : hit->key)
+            std::printf("%02x", b);
+        std::cout << "\n  schedule bit errors: " << hit->bit_errors
+                  << "  (matches planted key: "
+                  << (hit->key == key ? "yes" : "NO") << ")\n";
+    }
+
+    // --- (b) degradation sweep: inject bit errors, rescan ---
+    std::cout << "\ncold-boot-grade corruption sweep (10 trials per "
+                 "rate, 10% scan tolerance):\n";
+    TextTable table({"Bit-error rate", "Key found", "Exact key",
+                     "Mean schedule bit errors"});
+    for (double ber : {0.0, 0.005, 0.01, 0.02, 0.05, 0.10, 0.25, 0.50}) {
+        int found = 0, exact = 0;
+        double err_sum = 0;
+        const int trials = 10;
+        for (int t = 0; t < trials; ++t) {
+            Rng rng(1000 + static_cast<uint64_t>(ber * 1e6) + t);
+            std::vector<uint8_t> noisy = dump.bytes();
+            for (auto &b : noisy)
+                for (int bit = 0; bit < 8; ++bit)
+                    if (rng.uniform() < ber)
+                        b ^= 1u << bit;
+            const auto cand = finder.best(MemoryImage(std::move(noisy)));
+            if (cand) {
+                ++found;
+                exact += cand->key == key;
+                err_sum += static_cast<double>(cand->bit_errors);
+            }
+        }
+        table.addRow({TextTable::pct(ber, 1),
+                      std::to_string(found) + "/" + std::to_string(trials),
+                      std::to_string(exact) + "/" + std::to_string(trials),
+                      found ? TextTable::num(err_sum / found, 1) : "-"});
+    }
+    std::cout << table.render();
+
+    std::cout << "\ntakeaway: Volt Boot's error-free dumps make key "
+                 "theft trivial; bistable SRAM errors\n(2x polarity, no "
+                 "ground-state bias) defeat schedule scanning well "
+                 "before the ~50% error\nof an actual SRAM cold boot.\n";
+    return 0;
+}

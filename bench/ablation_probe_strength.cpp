@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Ablation A1 — probe strength vs data retention.
+ *
+ * The paper specifies a bench supply with ">3 A current driving
+ * capability" because the core-domain disconnect surge (400-600 mA on a
+ * Pi 4) must not droop the rail below the cells' data retention voltage.
+ * This ablation sweeps the probe's current limit and source impedance
+ * and reports the droop minimum and the resulting retention accuracy,
+ * locating the cliff.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/analysis.hh"
+#include "core/attack.hh"
+#include "os/baremetal.hh"
+#include "os/workloads.hh"
+#include "soc/soc.hh"
+
+using namespace voltboot;
+
+namespace
+{
+
+double
+retentionWithProbe(Amp max_current, Ohm impedance,
+                   Farad decap = Farad::microfarads(220))
+{
+    SocConfig soc_cfg = SocConfig::bcm2711();
+    soc_cfg.core_domain.decap = decap;
+    Soc soc(soc_cfg);
+    soc.powerOn();
+    BareMetalRunner runner(soc);
+    const uint64_t base = soc.config().dram_base + 0x40000;
+    runner.runOn(0, workloads::patternStore(base, 8192, 0xAA));
+    const MemoryImage before = soc.memory().l1d(0).dumpAll();
+
+    AttackConfig cfg;
+    cfg.probe_max_current = max_current;
+    cfg.probe_impedance = impedance;
+    VoltBootAttack attack(soc, cfg);
+    if (!attack.execute().rebooted_into_attacker_code)
+        return -1.0;
+    const MemoryImage dump = attack.dumpL1(0, L1Ram::DData);
+    return compareImages(dump, before).accuracy();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation A1",
+                  "probe current capability / impedance vs retention");
+
+    std::cout << "\n(a) current-limit sweep at 50 mOhm source "
+                 "impedance:\n";
+    TextTable ta({"Probe limit", "Droop minimum", "Current-limited",
+                  "Retention accuracy"});
+    for (double amps : {0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 3.0}) {
+        // Solve the transient separately for reporting.
+        const SocConfig cfg = SocConfig::bcm2711();
+        const ProbeTransient tr = TransientSolver::solve(
+            VoltageProbe{cfg.core_domain.nominal, Amp(amps), Ohm(0.05)},
+            cfg.core_domain.surge_current,
+            cfg.core_domain.retention_current, cfg.core_domain.decap,
+            Seconds::microseconds(5));
+        const double acc = retentionWithProbe(Amp(amps), Ohm(0.05));
+        ta.addRow({TextTable::num(amps, 2) + " A",
+                   TextTable::num(tr.v_min.volts(), 3) + " V",
+                   tr.current_limited ? "yes" : "no",
+                   TextTable::pct(acc)});
+    }
+    std::cout << ta.render();
+
+    std::cout << "\n(b) source-impedance sweep at 3 A limit (stock "
+                 "220 uF decap):\n";
+    TextTable tb({"Source impedance", "Droop minimum",
+                  "Retention accuracy"});
+    for (double mohm : {10.0, 50.0, 200.0, 500.0, 900.0, 1300.0}) {
+        const SocConfig cfg = SocConfig::bcm2711();
+        const ProbeTransient tr = TransientSolver::solve(
+            VoltageProbe{cfg.core_domain.nominal, Amp(3.0),
+                         Ohm::milliohms(mohm)},
+            cfg.core_domain.surge_current,
+            cfg.core_domain.retention_current, cfg.core_domain.decap,
+            Seconds::microseconds(5));
+        const double acc =
+            retentionWithProbe(Amp(3.0), Ohm::milliohms(mohm));
+        tb.addRow({TextTable::num(mohm, 0) + " mOhm",
+                   TextTable::num(tr.v_min.volts(), 3) + " V",
+                   TextTable::pct(acc)});
+    }
+    std::cout << tb.render();
+    std::cout << "(flat: the rail decoupling capacitance absorbs the "
+                 "microsecond surge, so probe\nimpedance barely matters "
+                 "while the current limit is not hit)\n";
+
+    std::cout << "\n(c) decoupling-capacitance sweep with a long lead "
+                 "probe (3 A limit, 1 Ohm):\n";
+    TextTable tc({"Rail decap", "Droop minimum", "Retention accuracy"});
+    for (double uf : {220.0, 47.0, 10.0, 4.7, 1.0, 0.1}) {
+        const SocConfig cfg = SocConfig::bcm2711();
+        const ProbeTransient tr = TransientSolver::solve(
+            VoltageProbe{cfg.core_domain.nominal, Amp(3.0),
+                         Ohm::milliohms(1000)},
+            cfg.core_domain.surge_current,
+            cfg.core_domain.retention_current,
+            Farad::microfarads(uf), Seconds::microseconds(5));
+        const double acc = retentionWithProbe(
+            Amp(3.0), Ohm::milliohms(1000), Farad::microfarads(uf));
+        tc.addRow({TextTable::num(uf, 1) + " uF",
+                   TextTable::num(tr.v_min.volts(), 3) + " V",
+                   TextTable::pct(acc)});
+    }
+    std::cout << tc.render();
+    std::cout << "(boards with small decoupling caps punish sloppy "
+                 "probing: with little capacitance,\nthe full ohmic "
+                 "droop I*R develops and marginal cells flip)\n";
+
+    std::cout << "\npaper: a probe at the rail voltage draws only a few "
+                 "mA in steady state, but the\nabrupt disconnect spikes "
+                 "the current; an insufficient supply drops the rail "
+                 "below the\ndata retention voltage and corrupts the "
+                 "extraction — hence the >3 A bench supply.\n";
+    return 0;
+}

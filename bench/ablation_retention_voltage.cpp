@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation A5 — standby voltage scaling vs data retention.
+ *
+ * Section 2.1: "modern processors dynamically scale down the voltage
+ * when the RAM is not actively accessed because it reduces the energy
+ * leakage" — safe only while the standby level clears every cell's data
+ * retention voltage (Qin et al., the paper's [34]). This ablation sweeps
+ * the standby level of the core domain and reports the bit-error rate
+ * induced in a pattern-filled L1, locating the retention cliff against
+ * the DRV distribution (mean 250 mV, sigma 35 mV) — the same cliff the
+ * Volt Boot probe must stay above during the disconnect surge.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/analysis.hh"
+#include "soc/soc.hh"
+
+using namespace voltboot;
+
+int
+main()
+{
+    bench::banner("Ablation A5",
+                  "standby voltage scaling vs L1 retention");
+
+    TextTable table({"Standby level", "Bit errors after resume",
+                     "DRV tail above level"});
+    for (double mv : {800.0, 550.0, 450.0, 400.0, 350.0, 300.0, 275.0,
+                      250.0, 225.0, 200.0, 150.0, 100.0}) {
+        Soc soc(SocConfig::bcm2711());
+        soc.powerOn();
+        soc.l1dData(0).fill(0xA5);
+        const MemoryImage before(soc.l1dData(0).snapshot());
+
+        PowerDomain *core =
+            soc.board().pmic().domain(soc.config().core_domain.name);
+        core->scaleVoltage(Volt::millivolts(mv)); // enter standby
+        core->scaleVoltage(Volt(0.8));            // resume
+
+        const MemoryImage after(soc.l1dData(0).snapshot());
+        const double err =
+            MemoryImage::fractionalHamming(before, after);
+
+        // Analytic fraction of cells with DRV above the standby level.
+        const RetentionModel model(RetentionConfig::sram6t(),
+                                   CellRng(soc.config().chip_seed, 1));
+        const double mean = model.config().drv_mean.volts();
+        const double sigma = model.config().drv_sigma.volts();
+        const double z = (mv / 1000.0 - mean) / sigma;
+        const double tail = 0.5 * std::erfc(z / std::sqrt(2.0));
+
+        table.addRow({TextTable::num(mv, 0) + " mV",
+                      TextTable::pct(err, 3), TextTable::pct(tail, 3)});
+    }
+    std::cout << table.render();
+
+    std::cout
+        << "\nshape: retention is free down to ~2 sigma above the DRV "
+           "mean (~320 mV), then the\nlognormal tail bites and errors "
+           "track the analytic DRV exceedance. Vendors pick\nstandby "
+           "levels against this curve; the Volt Boot probe must clear "
+           "the same bar\nduring the disconnect surge (see A1).\n";
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Extension E1 — the wider internal-RAM attack surface.
+ *
+ * Section 2.1 notes that a Cortex-A72 exposes fifteen internal RAMs
+ * through the CP15 RAMINDEX interface — TLBs and branch predictors
+ * included, all of them core-domain SRAM. This bench extends the paper's
+ * evaluation to that surface: a victim process runs with an MMU mapping
+ * its secret pages and a branchy working loop; Volt Boot then dumps the
+ * DTLB and BTB entry RAMs and reconstructs
+ *
+ *   - the victim's address-space layout (VPN -> PPN pairs with ASIDs),
+ *   - its hot control flow (branch sites and targets),
+ *
+ * none of which appears in the caches at all. The BTB extractor runs
+ * branch-free (unrolled) so it cannot train the structure it reads.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/analysis.hh"
+#include "core/attack.hh"
+#include "mem/tlb.hh"
+#include "soc/soc.hh"
+
+using namespace voltboot;
+
+int
+main()
+{
+    bench::banner("Extension E1",
+                  "dumping the DTLB and BTB across a power cycle");
+
+    Soc soc(SocConfig::bcm2711());
+    soc.powerOn();
+
+    // --- victim: an OS-like process with a private address space ---
+    soc.dtlb(0).invalidateAll();
+    soc.btb(0).invalidateAll();
+    PageTable table(*soc.memory().mainMemory(), 0x100000, 0x101000);
+    Mmu mmu(soc.dtlb(0), table);
+    mmu.setEnabled(true);
+    mmu.setAsid(17);
+
+    // Secret heap: 8 pages at VA 0x7f400000 -> PA 0x40000.
+    for (uint64_t page = 0; page < 8; ++page) {
+        table.map(0x7f400000 + page * 4096, 0x40000 + page * 4096, true);
+        (void)mmu.translate(0x7f400000 + page * 4096 + 128);
+    }
+    // And a branchy hot loop.
+    Program victim = Assembler::assemble(R"(
+        movz x1, #200
+    outer:
+        movz x2, #3
+    inner:
+        sub x2, x2, #1
+        cbnz x2, inner
+        sub x1, x1, #1
+        cbnz x1, outer
+        hlt
+    )");
+    victim.load_address = 0x2000;
+    soc.loadProgram(victim);
+    soc.runCore(0, 0x2000, 100000);
+
+    std::cout << "victim: 8 secret pages mapped (ASID 17), hot loop at "
+                 "0x2000 executed\n\n";
+
+    // --- attack ---
+    VoltBootAttack attack(soc);
+    if (!attack.execute().rebooted_into_attacker_code) {
+        std::cout << "attack failed\n";
+        return 1;
+    }
+
+    const MemoryImage tlb_dump = attack.dumpDtlb(0);
+    const MemoryImage btb_dump = attack.dumpBtb(0);
+
+    // Reconstruct the address space from the TLB entry RAM.
+    const auto entries = Tlb::parseDump(tlb_dump);
+    TextTable tlb_table({"ASID", "VA page", "PA page", "writable"});
+    size_t victim_pages = 0;
+    for (const auto &e : entries) {
+        if (e.asid != 17)
+            continue; // garbage/fingerprint entries decode as noise
+        ++victim_pages;
+        tlb_table.addRow({std::to_string(e.asid),
+                          TextTable::hex(e.vpn * 4096),
+                          TextTable::hex(e.ppn * 4096),
+                          e.writable ? "yes" : "no"});
+    }
+    std::cout << "DTLB dump (" << tlb_dump.sizeBytes()
+              << " bytes) -> victim address-space layout:\n"
+              << tlb_table.render();
+    std::cout << "victim pages recovered: " << victim_pages << " / 8\n\n";
+
+    // Reconstruct control flow from the BTB entry RAM.
+    const auto branches = Btb::parseDump(btb_dump);
+    TextTable btb_table({"branch site", "target", "within victim code"});
+    size_t victim_branches = 0;
+    for (const auto &b : branches) {
+        const bool in_victim =
+            b.branch_pc >= 0x2000 && b.branch_pc < 0x2100;
+        victim_branches += in_victim;
+        if (in_victim)
+            btb_table.addRow({TextTable::hex(b.branch_pc),
+                              TextTable::hex(b.target), "yes"});
+    }
+    std::cout << "BTB dump -> victim control-flow edges:\n"
+              << btb_table.render();
+    std::cout << "victim branch sites recovered: " << victim_branches
+              << " (expect 2: the inner and outer loop back-edges)\n";
+
+    std::cout << "\nextension of the paper's Section 2.1 observation: "
+                 "every RAMINDEX-visible internal\nRAM in the probed "
+                 "domain leaks — not just caches, but the address-space "
+                 "and branch\nhistory of whatever ran before the power "
+                 "cycle.\n";
+    return (victim_pages == 8 && victim_branches >= 2) ? 0 : 1;
+}

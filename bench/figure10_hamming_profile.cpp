@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 10 — "Hamming distance between image binary and post-attack
+ * binary" at 512-bit granularity over the i.MX535 iRAM address space.
+ *
+ * Reproduces the error-localisation plot: errors cluster at the start of
+ * the iRAM (the boot ROM's scratch region, 0xF800083C-0xF80018CC) and
+ * near the end; the large middle is error-free. Prints an ASCII profile
+ * and emits the raw series as CSV.
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.hh"
+#include "core/analysis.hh"
+#include "core/attack.hh"
+#include "sim/rng.hh"
+#include "soc/soc.hh"
+
+using namespace voltboot;
+
+int
+main()
+{
+    bench::banner("Figure 10",
+                  "per-512-bit Hamming distance profile over the iRAM");
+
+    Soc soc(SocConfig::imx535());
+    soc.powerOn();
+
+    // Victim image: pseudo-random bitmap (content does not matter for
+    // the error profile, only where the boot ROM scribbles).
+    Rng rng(0x916);
+    std::vector<uint8_t> truth(soc.config().iram_bytes);
+    for (auto &b : truth)
+        b = static_cast<uint8_t>(rng.next());
+    soc.jtag().writeIram(soc.config().iram_base, truth);
+
+    VoltBootAttack attack(soc);
+    if (!attack.execute().rebooted_into_attacker_code) {
+        std::cout << "attack failed\n";
+        return 1;
+    }
+    const MemoryImage dump = attack.dumpIram();
+
+    const size_t granularity = 512; // bits
+    const auto profile =
+        MemoryImage::blockHamming(dump, MemoryImage(truth), granularity);
+
+    // ASCII profile: one row per 16 blocks (1 KB), bar = summed HD.
+    std::cout << "HD per 1KB of iRAM (each '#' ~ 256 error bits):\n";
+    const uint64_t base = soc.config().iram_base;
+    std::ostringstream csv;
+    csv << "address,hd_512bit_block\n";
+    size_t first_err = SIZE_MAX, head_end = 0, last_err = 0;
+    for (size_t block = 0; block < profile.size(); ++block) {
+        csv << TextTable::hex(base + block * granularity / 8) << ","
+            << profile[block] << "\n";
+        if (profile[block]) {
+            if (first_err == SIZE_MAX)
+                first_err = block;
+            // The head cluster is the contiguous-ish run near the start
+            // (first half of the address space); later hits form the
+            // tail cluster.
+            if (block < profile.size() / 2)
+                head_end = block;
+            last_err = block;
+        }
+    }
+    for (size_t row = 0; row < profile.size(); row += 16) {
+        size_t sum = 0;
+        for (size_t i = row; i < std::min(row + 16, profile.size()); ++i)
+            sum += profile[i];
+        if (sum == 0)
+            continue; // print only rows with errors, plus markers below
+        std::cout << TextTable::hex(base + row * granularity / 8) << " |"
+                  << std::string(std::min<size_t>(sum / 256 + 1, 60), '#')
+                  << " (" << sum << " bits)\n";
+    }
+    std::cout << "(all other addresses: zero errors)\n\n";
+
+    TextTable table({"Metric", "Measured", "Paper"});
+    table.addRow({"first erroneous block",
+                  first_err == SIZE_MAX
+                      ? "-"
+                      : TextTable::hex(base + first_err * 64),
+                  "~0xF800083C"});
+    table.addRow({"head error cluster ends at",
+                  TextTable::hex(base + head_end * 64 + 63),
+                  "~0xF80018CC"});
+    table.addRow({"tail error cluster ends at",
+                  TextTable::hex(base + last_err * 64 + 63),
+                  "a cluster near the end of the iRAM"});
+    table.addRow({"overall error",
+                  TextTable::pct(MemoryImage::fractionalHamming(
+                      dump, MemoryImage(truth))),
+                  "2.7%"});
+    std::cout << table.render();
+
+    bench::saveArtefact("figure10_hamming_profile.csv", csv.str());
+    std::cout << "\npaper: errors cluster around the beginning "
+                 "(0xF800083C-0xF80018CC boot ROM scratch)\nand the end "
+                 "of the iRAM; everything else is error-free.\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 7 — "Snapshots of i-cache after attacking bare-metal software in
+ * (a) BCM2711 and (b) BCM2837 SoCs."
+ *
+ * The victim runs a NOP-filler from the i-cache on all four cores; the
+ * Volt Boot attack then extracts the i-cache and verifies the machine
+ * code stayed resident bit-exact across the power cycle. The bench
+ * prints the bit-image impression (structured, unlike Figure 3's random
+ * field) and the retention accuracy, which the paper reports as 100% on
+ * every core of both devices.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/analysis.hh"
+#include "core/attack.hh"
+#include "os/baremetal.hh"
+#include "os/workloads.hh"
+#include "soc/soc.hh"
+
+using namespace voltboot;
+
+int
+main()
+{
+    bench::banner("Figure 7",
+                  "i-cache snapshots after attacking bare-metal software");
+
+    for (auto maker : {&SocConfig::bcm2711, &SocConfig::bcm2837}) {
+        const SocConfig cfg = maker();
+        std::cout << "\n--- " << cfg.soc_name << " ---\n";
+
+        Soc soc(cfg);
+        soc.powerOn();
+
+        // Bare-metal victim: enable caches, execute a long NOP slide.
+        BareMetalRunner runner(soc);
+        std::vector<MemoryImage> before;
+        for (size_t core = 0; core < soc.coreCount(); ++core) {
+            runner.runOn(core, workloads::nopFiller(4096));
+            before.push_back(soc.memory().l1i(core).dumpAll());
+        }
+        const std::vector<uint8_t> code = runner.lastProgram().bytes();
+
+        VoltBootAttack attack(soc);
+        if (!attack.execute().rebooted_into_attacker_code) {
+            std::cout << "attack failed\n";
+            return 1;
+        }
+
+        // Footnote 4: the A53's i-cache interleaves instructions and ECC
+        // in an undocumented order, so BCM2837 dumps cannot be grepped
+        // for code; retention is measured by before/after comparison
+        // (both dumps go through the same undocumented order).
+        const bool ecc = cfg.icache_ecc_undocumented;
+        TextTable table({"Core", "Retention accuracy",
+                         ecc ? "victim code found (via before/after)"
+                             : "victim code found in dump"});
+        for (size_t core = 0; core < soc.coreCount(); ++core) {
+            const MemoryImage dump = attack.dumpL1(core, L1Ram::IData);
+            const RetentionReport rep =
+                compareImages(dump, before[core]);
+            const std::vector<uint8_t> needle(code.begin() + 8,
+                                              code.begin() + 8 + 64);
+            const bool found = ecc ? rep.error_bits == 0
+                                   : dump.contains(needle);
+            table.addRow({"core " + std::to_string(core),
+                          TextTable::pct(rep.accuracy()),
+                          found ? "yes" : "NO"});
+            if (core == 0) {
+                const size_t line_bits = cfg.l1i.line_bytes * 8;
+                std::cout
+                    << "core 0 way 0 bit-image impression (structured "
+                       "pattern = retained instructions):\n"
+                    << bench::asciiBitmap(
+                           attack.dumpL1Way(core, L1Ram::IData, 0),
+                           line_bits, 12)
+                    << "\n";
+                bench::saveArtefact(
+                    std::string("figure7_") + cfg.soc_name +
+                        "_icache_way0.pbm",
+                    attack.dumpL1Way(core, L1Ram::IData, 0)
+                        .toPbm(line_bits));
+            }
+        }
+        std::cout << table.render();
+    }
+
+    std::cout << "\npaper: instructions stay in the i-cache across power "
+                 "cycles; 100% accuracy on all\nfour cores of both "
+                 "devices (compare to Figure 3's random post-cold-boot "
+                 "state).\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 8 — "Snapshots of the caches after executing Volt Boot on a
+ * system running a general application" (Section 7.1.2).
+ *
+ * A Linux-class system runs an application that stores the 0xAA pattern
+ * in a large data structure and reads it back. Volt Boot strikes; the
+ * d-cache dump shows the expected pattern and grepping the i-cache dump
+ * finds all of the application's instructions in consecutive address
+ * space.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/analysis.hh"
+#include "core/attack.hh"
+#include "os/linux_model.hh"
+#include "os/workloads.hh"
+#include "soc/soc.hh"
+
+using namespace voltboot;
+
+int
+main()
+{
+    bench::banner("Figure 8",
+                  "cache snapshots under an OS (0xAA pattern app)");
+
+    Soc soc(SocConfig::bcm2711());
+    soc.powerOn();
+    LinuxModel linux_model(soc);
+    linux_model.boot();
+
+    // The user application: stores 0xAA into a large structure and
+    // reads it back (run as a real program so its instructions cache).
+    const uint64_t heap = soc.config().dram_base + 0x40000;
+    Program app = Assembler::assemble(
+        workloads::patternStore(heap, 16 * 1024, 0xAA));
+    app.load_address = soc.config().dram_base + 0x3000;
+    linux_model.runProgramOnCore(0, app);
+
+    VoltBootAttack attack(soc);
+    if (!attack.execute().rebooted_into_attacker_code) {
+        std::cout << "attack failed\n";
+        return 1;
+    }
+
+    const MemoryImage dcache = attack.dumpL1(0, L1Ram::DData);
+    const MemoryImage icache = attack.dumpL1(0, L1Ram::IData);
+    const size_t line_bits = soc.config().l1d.line_bytes * 8;
+
+    std::cout << "d-cache way 0 impression (banded pattern = 0xAA "
+                 "data):\n"
+              << bench::asciiBitmap(
+                     attack.dumpL1Way(0, L1Ram::DData, 0), line_bits, 12)
+              << "\n";
+
+    // Quantify: pattern bytes present in the d-cache dump.
+    size_t aa = 0;
+    for (uint8_t b : dcache.bytes())
+        aa += b == 0xAA;
+    TextTable table({"Check", "Result", "Paper"});
+    table.addRow({"0xAA bytes in d-cache dump",
+                  std::to_string(aa) + " / " +
+                      std::to_string(dcache.sizeBytes()),
+                  "d-cache contains the expected pattern"});
+
+    // Grep the i-cache for the app's machine code, line by line, and
+    // check the hits cover the program contiguously.
+    const std::vector<uint8_t> code = app.bytes();
+    size_t lines_found = 0, lines_total = 0;
+    for (size_t off = 0; off + 64 <= code.size(); off += 64) {
+        ++lines_total;
+        const std::span<const uint8_t> needle(code.data() + off, 64);
+        lines_found += icache.contains(needle);
+    }
+    table.addRow({"app code lines found in i-cache",
+                  std::to_string(lines_found) + " / " +
+                      std::to_string(lines_total),
+                  "all instructions found (consecutive)"});
+    std::cout << table.render();
+
+    bench::saveArtefact("figure8_dcache_way0.pbm",
+                        attack.dumpL1Way(0, L1Ram::DData, 0)
+                            .toPbm(line_bits));
+    bench::saveArtefact("figure8_icache_way0.pbm",
+                        attack.dumpL1Way(0, L1Ram::IData, 0)
+                            .toPbm(line_bits));
+
+    std::cout << "\npaper: the d-cache contains the expected 0xAA "
+                 "pattern and the i-cache contains all\nthe software's "
+                 "instructions within consecutive address spaces.\n";
+    return 0;
+}

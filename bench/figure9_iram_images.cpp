@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Figure 9 — "Visual representation of iRAM's data extraction" on the
+ * i.MX535 (Section 7.3).
+ *
+ * Four copies of a 512x512-pixel-bit (32 KB each, 128 KB total) bitmap
+ * are stored into the iRAM over JTAG; the Volt Boot attack holds the
+ * VDDAL1 memory domain through the power cycle and dumps the iRAM. The
+ * bench reports per-quadrant error, the overall error (paper: 2.7%),
+ * and saves the four extracted quadrant images.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/analysis.hh"
+#include "core/attack.hh"
+#include "sim/rng.hh"
+#include "soc/soc.hh"
+
+using namespace voltboot;
+
+namespace
+{
+
+/** A synthetic 512x512 1-bit "photograph": structured, recognisable. */
+std::vector<uint8_t>
+makeBitmapQuadrant()
+{
+    // 512x512 bits = 32 KB. Concentric rings + gradient dithering gives
+    // the dump a visually obvious structure, like the paper's photo.
+    std::vector<uint8_t> out(32 * 1024, 0);
+    for (size_t y = 0; y < 512; ++y) {
+        for (size_t x = 0; x < 512; ++x) {
+            const double dx = static_cast<double>(x) - 256.0;
+            const double dy = static_cast<double>(y) - 256.0;
+            const double r = std::sqrt(dx * dx + dy * dy);
+            const bool bit = (static_cast<int>(r / 24.0) % 2 == 0) ^
+                             ((x + y) % 7 < 2);
+            const size_t idx = y * 512 + x;
+            if (bit)
+                out[idx / 8] |= 1u << (idx % 8);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 9",
+                  "iRAM bitmap extraction on the i.MX535 (JTAG)");
+
+    Soc soc(SocConfig::imx535());
+    soc.powerOn();
+
+    // Victim data: four copies of the 32 KB bitmap fill the 128 KB iRAM.
+    const std::vector<uint8_t> quadrant = makeBitmapQuadrant();
+    std::vector<uint8_t> truth;
+    for (int q = 0; q < 4; ++q)
+        truth.insert(truth.end(), quadrant.begin(), quadrant.end());
+    soc.jtag().writeIram(soc.config().iram_base, truth);
+
+    VoltBootAttack attack(soc);
+    if (!attack.execute().rebooted_into_attacker_code) {
+        std::cout << "attack failed\n";
+        return 1;
+    }
+    const MemoryImage dump = attack.dumpIram();
+    const MemoryImage truth_img(truth);
+
+    TextTable table({"Quadrant", "Address range", "Error", "Note"});
+    const uint64_t base = soc.config().iram_base;
+    for (int q = 0; q < 4; ++q) {
+        const size_t off = q * 32 * 1024;
+        const MemoryImage part = dump.slice(off, 32 * 1024);
+        const MemoryImage want(std::vector<uint8_t>(
+            truth.begin() + off, truth.begin() + off + 32 * 1024));
+        const double err = MemoryImage::fractionalHamming(part, want);
+        const char *note =
+            q == 0 ? "boot-ROM scratch region lands here"
+            : q == 3 ? "tail clobber lands here"
+                     : "clean";
+        table.addRow({"(" + std::string(1, 'a' + q) + ")",
+                      TextTable::hex(base + off) + "-" +
+                          TextTable::hex(base + off + 0x7FFF),
+                      TextTable::pct(err), note});
+        bench::saveArtefact(
+            "figure9_quadrant_" + std::string(1, 'a' + q) + ".pbm",
+            part.toPbm(512));
+    }
+    std::cout << table.render();
+
+    const double overall =
+        MemoryImage::fractionalHamming(dump, truth_img);
+    std::cout << "\noverall iRAM extraction error: "
+              << TextTable::pct(overall) << "  (paper: 2.7%)\n";
+    std::cout << "error source: internal boot firmware partially "
+                 "clobbers the iRAM before releasing\nthe core — "
+                 "consistent across i.MX535 devices.\n";
+    return 0;
+}

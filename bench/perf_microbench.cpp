@@ -1,0 +1,159 @@
+/**
+ * @file
+ * P1 — simulation-infrastructure micro-benchmarks (google-benchmark).
+ *
+ * Not a paper artefact: measures the throughput of the substrate the
+ * reproduction runs on (per-cell parameter hashing, array power cycles,
+ * cache accesses, interpreter dispatch, attack end-to-end), so
+ * regressions in the simulator itself are visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/attack.hh"
+#include "crypto/aes.hh"
+#include "isa/assembler.hh"
+#include "mem/cache.hh"
+#include "mem/memory_system.hh"
+#include "os/baremetal.hh"
+#include "os/workloads.hh"
+#include "soc/soc.hh"
+#include "sram/memory_array.hh"
+
+namespace
+{
+
+using namespace voltboot;
+
+void
+BM_CellParams(benchmark::State &state)
+{
+    const RetentionModel model(RetentionConfig::sram6t(), CellRng(1, 1));
+    uint64_t cell = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.cellParams(cell++));
+}
+BENCHMARK(BM_CellParams);
+
+void
+BM_ArrayPowerCycle(benchmark::State &state)
+{
+    SramArray a("bench", static_cast<size_t>(state.range(0)), 7, 1);
+    a.powerUp(Volt(0.8));
+    for (auto _ : state) {
+        a.powerDown();
+        a.powerUp(Volt(0.8), Seconds::milliseconds(5),
+                  Temperature::celsius(-60)); // partial-loss regime
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ArrayPowerCycle)->Arg(4096)->Arg(32768);
+
+void
+BM_ArrayPowerCycleFastPath(benchmark::State &state)
+{
+    // Room temperature: the all-lost fast path with cached fingerprint.
+    SramArray a("bench", static_cast<size_t>(state.range(0)), 7, 2);
+    a.powerUp(Volt(0.8));
+    for (auto _ : state) {
+        a.powerDown();
+        a.powerUp(Volt(0.8), Seconds(1.0), Temperature::celsius(25));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ArrayPowerCycleFastPath)->Arg(32768);
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    SramArray data("d", 32768, 1, 1);
+    SramArray tags("t", Cache::tagRamBytes({32768, 2, 64}), 1, 2);
+    DramArray mem("m", 1 << 20, 1, 3);
+    data.powerUp(Volt(0.8));
+    tags.powerUp(Volt(0.8));
+    mem.powerUp(Volt(1.1));
+    MemoryRegion region(mem, 0);
+    Cache cache("L1D", {32768, 2, 64}, data, tags, &region);
+    cache.invalidateAll();
+    cache.setEnabled(true);
+    cache.read64(0x100, true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.read64(0x100, true));
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_CacheMissEvict(benchmark::State &state)
+{
+    SramArray data("d", 32768, 1, 1);
+    SramArray tags("t", Cache::tagRamBytes({32768, 2, 64}), 1, 2);
+    DramArray mem("m", 1 << 20, 1, 3);
+    data.powerUp(Volt(0.8));
+    tags.powerUp(Volt(0.8));
+    mem.powerUp(Volt(1.1));
+    MemoryRegion region(mem, 0);
+    Cache cache("L1D", {32768, 2, 64}, data, tags, &region);
+    cache.invalidateAll();
+    cache.setEnabled(true);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.read64(addr, true));
+        addr = (addr + 32768) & 0xFFFFF; // always conflict
+    }
+}
+BENCHMARK(BM_CacheMissEvict);
+
+void
+BM_InterpreterLoop(benchmark::State &state)
+{
+    Soc soc(SocConfig::bcm2711());
+    soc.powerOn();
+    Program p = Assembler::assemble(R"(
+        movz x1, #1000
+    loop:
+        sub x1, x1, #1
+        cbnz x1, loop
+        hlt
+    )");
+    p.load_address = 0x1000;
+    soc.loadProgram(p);
+    for (auto _ : state) {
+        soc.runCore(0, 0x1000, 10'000'000);
+        benchmark::DoNotOptimize(soc.cpu(0).x(1));
+    }
+    state.SetItemsProcessed(state.iterations() * 3001);
+}
+BENCHMARK(BM_InterpreterLoop);
+
+void
+BM_AesEncryptBlock(benchmark::State &state)
+{
+    std::vector<uint8_t> key(16, 0x5a);
+    Aes aes(key);
+    std::array<uint8_t, 16> block{};
+    for (auto _ : state) {
+        aes.encryptBlock(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void
+BM_FullVoltBootAttack(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Soc soc(SocConfig::bcm2711());
+        soc.powerOn();
+        BareMetalRunner runner(soc);
+        runner.runOn(0, workloads::patternStore(0x40000, 4096, 0xAA));
+        VoltBootAttack attack(soc);
+        attack.execute();
+        benchmark::DoNotOptimize(attack.dumpL1Way(0, L1Ram::DData, 0));
+    }
+}
+BENCHMARK(BM_FullVoltBootAttack)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Section 6.2 — "How much memory is accessible to an attacker?"
+ *
+ * Bare-metal software populates each target memory with a known pattern;
+ * the Volt Boot procedure runs; the bench reports what fraction of each
+ * memory survives the boot phase into attacker hands:
+ *
+ *   - BCM2711/BCM2837 L1 caches: 100% (software-enabled, untouched by
+ *     boot) — "an attacker simply never activates the cache";
+ *   - shared L2 on the Pis: 0% (VideoCore clobbers it with firmware);
+ *   - i.MX535 iRAM: ~95% (boot ROM scratchpad clobbers the rest).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/analysis.hh"
+#include "core/attack.hh"
+#include "os/baremetal.hh"
+#include "os/workloads.hh"
+#include "soc/soc.hh"
+
+using namespace voltboot;
+
+namespace
+{
+
+double
+fractionOfPattern(const MemoryImage &img, uint8_t pattern)
+{
+    size_t matches = 0;
+    for (uint8_t b : img.bytes())
+        matches += b == pattern;
+    return static_cast<double>(matches) / img.sizeBytes();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 6.2", "memory accessible after SoC boot-up");
+
+    TextTable table(
+        {"Platform", "Memory", "Accessible after reboot", "Paper"});
+
+    // --- Pi-class devices: L1 yes, shared L2 no ---
+    for (auto maker : {&SocConfig::bcm2711, &SocConfig::bcm2837}) {
+        const SocConfig cfg = maker();
+        Soc soc(cfg);
+        soc.powerOn();
+
+        BareMetalRunner runner(soc);
+        const uint64_t base = cfg.dram_base + 0x40000;
+        runner.runOn(0, workloads::patternStore(
+                            base, cfg.l1d.size_bytes, 0xAA));
+        // Also stash a pattern in the shared L2 directly.
+        soc.l2Data()->fill(0xBB);
+
+        VoltBootAttack attack(soc);
+        attack.execute();
+
+        const MemoryImage l1 = attack.dumpL1(0, L1Ram::DData);
+        table.addRow({cfg.soc_name, "L1 d-cache",
+                      TextTable::pct(fractionOfPattern(l1, 0xAA) /
+                                     1.0), // full cache was filled
+                      "100% (software-enabled)"});
+
+        // The L2's data RAM, post-boot (host-level view of the arrays).
+        size_t bb = 0;
+        for (size_t i = 0; i < soc.l2Data()->sizeBytes(); ++i)
+            bb += soc.l2Data()->readByte(i) == 0xBB;
+        table.addRow({cfg.soc_name, "shared L2",
+                      TextTable::pct(static_cast<double>(bb) /
+                                     soc.l2Data()->sizeBytes()),
+                      "0% (VideoCore clobbers it)"});
+    }
+
+    // --- i.MX535 iRAM: boot ROM scratch eats ~5% ---
+    {
+        const SocConfig cfg = SocConfig::imx535();
+        Soc soc(cfg);
+        soc.powerOn();
+        std::vector<uint8_t> pattern(cfg.iram_bytes, 0xCC);
+        soc.jtag().writeIram(cfg.iram_base, pattern);
+
+        VoltBootAttack attack(soc);
+        attack.execute();
+        const MemoryImage iram = attack.dumpIram();
+        table.addRow({cfg.soc_name, "iRAM (128KB)",
+                      TextTable::pct(fractionOfPattern(iram, 0xCC)),
+                      "~95% (boot ROM scratchpad)"});
+    }
+
+    std::cout << table.render();
+    std::cout << "\npaper: L1 caches fully available (no boot clobber); "
+                 "L2 unavailable on Broadcom parts;\n"
+                 "       ~95% of i.MX535 iRAM available to the "
+                 "attacker.\n";
+    return 0;
+}

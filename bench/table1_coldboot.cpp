@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Table 1 — "Errors in d-cache data after a cold boot attack execution in
+ * a BCM2711 SoC."
+ *
+ * Procedure (Section 3): load bare-metal software to populate the d-cache
+ * of each core, statically chill the board, power cycle for a few
+ * milliseconds, extract the cache and compute the mean error against the
+ * pre-stored pattern, plus the fractional Hamming distance between the
+ * post-cycle cache and the cache's power-on fingerprint.
+ *
+ * Paper's result: ~50% error at 0 / -5 / -40 degC (no retention), and a
+ * fractional HD of ~0.10 vs the startup state (i.e. the cache simply
+ * reverted to its power-on fingerprint, up to metastable cells).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/analysis.hh"
+#include "core/attack.hh"
+#include "os/baremetal.hh"
+#include "os/workloads.hh"
+#include "soc/soc.hh"
+
+using namespace voltboot;
+
+int
+main()
+{
+    bench::banner("Table 1",
+                  "cold boot errors on BCM2711 d-cache vs temperature");
+
+    const double temperatures[] = {0.0, -5.0, -40.0};
+    TextTable table({"Temperature", "Mean error (4 cores)",
+                     "Frac. HD vs power-on state"});
+
+    for (double celsius : temperatures) {
+        Soc soc(SocConfig::bcm2711());
+        soc.powerOn();
+
+        // Capture each core's power-on d-cache fingerprint first.
+        std::vector<MemoryImage> startup;
+        for (size_t core = 0; core < soc.coreCount(); ++core)
+            startup.push_back(soc.memory().l1d(core).dumpAll());
+
+        // Victim software fills every core's d-cache with the pattern.
+        BareMetalRunner runner(soc);
+        for (size_t core = 0; core < soc.coreCount(); ++core) {
+            const uint64_t base =
+                soc.config().dram_base + 0x40000 + core * 0x10000;
+            runner.runOn(core, workloads::patternStore(
+                                   base, soc.config().l1d.size_bytes,
+                                   0xAA));
+        }
+
+        // The cold boot: chill, cut power for a few ms, reboot, dump.
+        ColdBootAttack attack(soc, Temperature::celsius(celsius),
+                              Seconds::milliseconds(5));
+        if (!attack.powerCycleAndBoot()) {
+            std::cout << "boot failed\n";
+            return 1;
+        }
+
+        double error_sum = 0, hd_sum = 0;
+        for (size_t core = 0; core < soc.coreCount(); ++core) {
+            const MemoryImage dump = attack.dumpL1(core, L1Ram::DData);
+            const MemoryImage truth =
+                MemoryImage::filled(dump.sizeBytes(), 0xAA);
+            error_sum += MemoryImage::fractionalHamming(dump, truth);
+            hd_sum += MemoryImage::fractionalHamming(dump, startup[core]);
+        }
+        const double err = error_sum / soc.coreCount();
+        const double hd = hd_sum / soc.coreCount();
+
+        std::string label = TextTable::num(celsius, 0) + " degC";
+        if (celsius == 0.0)
+            label += " (recommended min)";
+        if (celsius == -40.0)
+            label += " (SoC hard limit)";
+        table.addRow({label, TextTable::pct(err), TextTable::num(hd, 3)});
+    }
+
+    std::cout << table.render();
+    std::cout << "\npaper: error ~50.1-50.4% at every temperature; "
+                 "fractional HD vs startup ~0.10\n"
+              << "(the d-cache reverts to its power-on state: cold boot "
+                 "is ineffective on embedded SRAM)\n";
+    return 0;
+}

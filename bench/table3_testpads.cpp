@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table 3 — "PCB test pads to probe, nominal voltage, target memories
+ * and power domains."
+ *
+ * Prints, for each platform, the board-level probe point the attack
+ * uses, the rail voltage an attacker measures there, and which on-chip
+ * memories that domain keeps alive.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/analysis.hh"
+#include "soc/soc_config.hh"
+
+using namespace voltboot;
+
+int
+main()
+{
+    bench::banner("Table 3",
+                  "attack probe points and target power domains");
+
+    TextTable table({"Board", "PCB test pad", "Nominal voltage",
+                     "Target memories", "Power domain"});
+    for (const SocConfig &cfg : SocConfig::allPlatforms()) {
+        // Find the attack pad's domain and voltage in the pad list.
+        std::string domain = "?";
+        double volts = 0.0;
+        for (const auto &pad : cfg.pads) {
+            if (pad.label != cfg.attack_pad)
+                continue;
+            domain = pad.domain;
+            if (domain == cfg.core_domain.name)
+                volts = cfg.core_domain.nominal.volts();
+            else if (domain == cfg.mem_domain.name)
+                volts = cfg.mem_domain.nominal.volts();
+            else if (domain == cfg.io_domain.name)
+                volts = cfg.io_domain.nominal.volts();
+        }
+        const bool core = domain == cfg.core_domain.name;
+        table.addRow({
+            cfg.board_name,
+            cfg.attack_pad,
+            TextTable::num(volts, 1) + "V",
+            cfg.attack_target,
+            (core ? "Core (" : "Memory (") + domain + ")",
+        });
+    }
+    std::cout << table.render();
+    std::cout << "\npaper: Pi 3 -> PP58 @ 1.2V (VDD_CORE), "
+                 "Pi 4 -> TP15 @ 0.8V (VDD_CORE), "
+                 "i.MX53 -> SH13 @ 1.3V (VDDAL1)\n";
+    return 0;
+}

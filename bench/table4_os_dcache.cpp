@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Table 4 — "Extracted data from d-cache of a BCM2711 SoC using Volt
+ * Boot attack" (Section 7.1.2).
+ *
+ * The microbenchmark varies an array of 8-byte elements from 4 KB
+ * (12.5% of the 32 KB two-way d-cache) to the full cache size, one
+ * process per core, under a Linux-class system with background kernel
+ * activity. Each configuration runs three times; the table reports the
+ * mean element count recovered from way 0, way 1 and their union per
+ * core, plus the percentage extracted.
+ *
+ * Paper's shape: 100% at 4/8/16 KB, falling to ~86-92% at 32 KB, where
+ * the kernel's background evictions bite.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/analysis.hh"
+#include "core/attack.hh"
+#include "os/linux_model.hh"
+#include "sim/stats.hh"
+#include "soc/soc.hh"
+
+using namespace voltboot;
+
+int
+main()
+{
+    bench::banner("Table 4",
+                  "d-cache extraction vs array size under an OS");
+
+    const size_t sizes_kb[] = {4, 8, 16, 32};
+    const int trials = 3;
+    const size_t cores = 4;
+    const size_t ways = 2;
+
+    for (size_t kb : sizes_kb) {
+        // Accumulate per-core sums over the trials.
+        std::vector<double> w0(cores, 0), w1(cores, 0), uni(cores, 0);
+        std::vector<RunningStats> spread(cores);
+        size_t elements_total = 0;
+
+        for (int trial = 0; trial < trials; ++trial) {
+            Soc soc(SocConfig::bcm2711());
+            soc.powerOn();
+            LinuxModelConfig lm_cfg;
+            lm_cfg.seed = 0x700 + kb * 10 + trial;
+            LinuxModel linux_model(soc, lm_cfg);
+            linux_model.boot();
+            const auto truth =
+                linux_model.runArrayBenchmark(kb * 1024);
+            elements_total = truth[0].elements.size();
+
+            VoltBootAttack attack(soc);
+            if (!attack.execute().rebooted_into_attacker_code) {
+                std::cout << "attack failed\n";
+                return 1;
+            }
+            for (size_t core = 0; core < cores; ++core) {
+                std::vector<MemoryImage> dumps;
+                for (size_t w = 0; w < ways; ++w)
+                    dumps.push_back(
+                        attack.dumpL1Way(core, L1Ram::DData, w));
+                const ElementRecovery er =
+                    recoverElements(dumps, truth[core].elements);
+                w0[core] += er.per_way[0];
+                w1[core] += er.per_way[1];
+                uni[core] += er.in_union;
+                spread[core].add(er.fractionRecovered());
+            }
+        }
+
+        std::cout << "\narray size " << kb << "KB (" << elements_total
+                  << " elements, mean of " << trials << " trials):\n";
+        TextTable table({"", "Core 0", "Core 1", "Core 2", "Core 3"});
+        auto row = [&](const char *name, const std::vector<double> &v,
+                       int decimals) {
+            std::vector<std::string> cells{name};
+            for (size_t core = 0; core < cores; ++core)
+                cells.push_back(
+                    TextTable::num(v[core] / trials, decimals));
+            table.addRow(cells);
+        };
+        row("W0", w0, 1);
+        row("W1", w1, 1);
+        row("W0 u W1", uni, 1);
+        std::vector<std::string> pct_cells{"% data extracted"};
+        for (size_t core = 0; core < cores; ++core)
+            pct_cells.push_back(TextTable::pct(
+                uni[core] / trials / elements_total));
+        table.addRow(pct_cells);
+        std::vector<std::string> sd_cells{"trial stddev"};
+        for (size_t core = 0; core < cores; ++core)
+            sd_cells.push_back(
+                "+-" + TextTable::pct(spread[core].stddev()));
+        table.addRow(sd_cells);
+        std::cout << table.render();
+    }
+
+    std::cout << "\npaper: 100% extraction at 4/8/16KB; ~85.7-91.8% at "
+                 "32KB (kernel background\nprocesses evict lines when "
+                 "the working set reaches the cache size).\n";
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Post-extraction forensics: mapping a cache dump back onto the victim's
+ * address space.
+ *
+ * A raw data-RAM dump is a bag of bytes; the *tag* RAM — equally
+ * RAMINDEX-visible and equally retained by Volt Boot — tells the
+ * attacker which physical address every line held, and whether it was
+ * dirty (modified data that never reached DRAM), locked (a CaSE enclave)
+ * or secure. This example reconstructs the (address -> content) view of
+ * the victim's working set from the two dumps.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/analysis.hh"
+#include "core/attack.hh"
+#include "os/baremetal.hh"
+#include "os/workloads.hh"
+#include "soc/soc.hh"
+
+using namespace voltboot;
+
+int
+main()
+{
+    Soc soc(SocConfig::bcm2711());
+    soc.powerOn();
+
+    // Victim: writes a "session token" into one specific heap address
+    // among other traffic. Write-back means DRAM never sees it.
+    BareMetalRunner runner(soc);
+    const uint64_t token_addr = soc.config().dram_base + 0x41540;
+    const uint64_t heap = soc.config().dram_base + 0x40000;
+    runner.runOn(0, workloads::patternStore(heap, 4096, 0x11));
+    // Place the token with a tiny dedicated program so its address is
+    // architecturally meaningful.
+    Program p = Assembler::assemble(
+        "    movz x0, #0x1004\n"
+        "    msr sctlr_el1, x0\n" +
+        workloads::loadImm64("x1", token_addr) +
+        workloads::loadImm64("x2", 0x5EC2E77064AA1337ull) +
+        "    str x2, [x1]\n"
+        "    hlt\n");
+    p.load_address = soc.config().dram_base + 0x3000;
+    soc.loadProgram(p);
+    soc.runCore(0, p.load_address, 1000);
+    std::cout << "victim: session token stored at 0x" << std::hex
+              << token_addr << std::dec << " (d-cache only)\n\n";
+
+    // Attack: dump BOTH the data RAM and the tag RAM of the d-cache.
+    VoltBootAttack attack(soc);
+    if (!attack.execute().rebooted_into_attacker_code)
+        return 1;
+    const MemoryImage data = attack.dumpL1(0, L1Ram::DData);
+    const MemoryImage tags = attack.dumpL1(0, L1Ram::DTag);
+
+    // Forensics: reconstruct the victim's cached address space.
+    const auto lines = reconstructTagRam(tags, soc.config().l1d);
+    std::cout << "tag-RAM reconstruction: " << lines.size()
+              << " valid lines\n";
+
+    size_t dirty = 0;
+    for (const auto &l : lines)
+        dirty += l.dirty;
+    std::cout << "dirty (never reached DRAM): " << dirty << "\n\n";
+
+    // Find the token by ADDRESS, not by content scanning.
+    const auto it = std::find_if(
+        lines.begin(), lines.end(), [&](const CachedLineInfo &l) {
+            return l.phys_addr == (token_addr & ~63ull);
+        });
+    if (it == lines.end()) {
+        std::cout << "token line not found in tag RAM\n";
+        return 1;
+    }
+    std::cout << "token line located: way " << it->way << ", set "
+              << it->set << ", addr 0x" << std::hex << it->phys_addr
+              << std::dec << (it->dirty ? " (dirty)" : "") << "\n";
+
+    const MemoryImage line = lineContent(*it, data, soc.config().l1d);
+    uint64_t token = 0;
+    const size_t in_line = token_addr & 63ull;
+    for (int b = 0; b < 8; ++b)
+        token |= static_cast<uint64_t>(line.byteAt(in_line + b))
+                 << (8 * b);
+    std::cout << "recovered token: 0x" << std::hex << token << std::dec
+              << "\n";
+    const bool ok = token == 0x5EC2E77064AA1337ull;
+    std::cout << (ok ? "matches the victim's token.\n"
+                     : "MISMATCH!\n");
+    std::cout << "\nthe tag RAM turns a bag of bytes into an address-"
+                 "indexed snapshot of the victim's\nworking set — no "
+                 "pattern scanning required.\n";
+    return ok ? 0 : 1;
+}

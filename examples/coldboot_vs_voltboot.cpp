@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cold boot vs Volt Boot, side by side — the paper's core claim in one
+ * program.
+ *
+ * The same victim (pattern in the L1 d-cache of a Pi 4) is attacked two
+ * ways at several temperatures:
+ *
+ *   - classic cold boot (no probe): retention depends entirely on
+ *     temperature and the cells' intrinsic decay; on embedded SRAM it
+ *     fails everywhere an attacker can realistically operate;
+ *   - Volt Boot (probe on VDD_CORE): retention is voltage-induced and
+ *     temperature-independent — 100% at room temperature.
+ */
+
+#include <iostream>
+
+#include "core/analysis.hh"
+#include "core/attack.hh"
+#include "os/baremetal.hh"
+#include "os/workloads.hh"
+#include "soc/soc.hh"
+
+using namespace voltboot;
+
+namespace
+{
+
+double
+victimAccuracy(const MemoryImage &dump)
+{
+    const MemoryImage truth = MemoryImage::filled(dump.sizeBytes(), 0xAA);
+    return 1.0 - MemoryImage::fractionalHamming(dump, truth);
+}
+
+void
+prepareVictim(Soc &soc)
+{
+    BareMetalRunner runner(soc);
+    const uint64_t base = soc.config().dram_base + 0x40000;
+    runner.runOn(0, workloads::patternStore(
+                        base, soc.config().l1d.size_bytes, 0xAA));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "victim: full L1 d-cache of 0xAA on a BCM2711; "
+                 "attacker wants it back after a\npower cycle "
+                 "(500 ms unless noted). accuracy = 1 - fractional "
+                 "Hamming distance.\n\n";
+
+    TextTable table({"Ambient", "Off-time", "Cold boot accuracy",
+                     "Volt Boot accuracy"});
+
+    struct Point
+    {
+        double celsius;
+        double off_ms;
+    };
+    for (const Point p : {Point{25, 500}, Point{0, 500}, Point{-40, 500},
+                          Point{-110, 20}, Point{-140, 20}}) {
+        // Cold boot run.
+        Soc cold(SocConfig::bcm2711());
+        cold.powerOn();
+        prepareVictim(cold);
+        ColdBootAttack cb(cold, Temperature::celsius(p.celsius),
+                          Seconds::milliseconds(p.off_ms));
+        double cold_acc = 0.0;
+        if (cb.powerCycleAndBoot())
+            cold_acc = victimAccuracy(cb.dumpL1(0, L1Ram::DData));
+
+        // Volt Boot run at the same temperature and off-time.
+        Soc volt(SocConfig::bcm2711());
+        volt.setAmbient(Temperature::celsius(p.celsius));
+        volt.powerOn();
+        prepareVictim(volt);
+        AttackConfig cfg;
+        cfg.off_time = Seconds::milliseconds(p.off_ms);
+        VoltBootAttack vb(volt, cfg);
+        double volt_acc = 0.0;
+        if (vb.execute().rebooted_into_attacker_code)
+            volt_acc = victimAccuracy(vb.dumpL1(0, L1Ram::DData));
+
+        table.addRow({TextTable::num(p.celsius, 0) + " degC",
+                      TextTable::num(p.off_ms, 0) + " ms",
+                      TextTable::pct(cold_acc),
+                      TextTable::pct(volt_acc)});
+    }
+    std::cout << table.render();
+
+    std::cout
+        << "\nnote: 50% accuracy == zero information (the dump is the "
+           "random power-up state;\nhalf its bits agree with any "
+           "pattern by chance). Cold boot only beats chance below\n"
+           "-110 degC with millisecond off-times no battery-pull can "
+           "achieve; Volt Boot is\nexact everywhere, indefinitely.\n";
+    return 0;
+}

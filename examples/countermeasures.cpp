@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Evaluating the Section 8 countermeasures, one device at a time.
+ *
+ * Spins up a fresh BCM2711-class device per defence, runs the victim +
+ * attack pipeline, and narrates why each defence does or does not stop
+ * Volt Boot.
+ */
+
+#include <iostream>
+
+#include "core/analysis.hh"
+#include "core/countermeasures.hh"
+#include "soc/soc_config.hh"
+
+using namespace voltboot;
+
+int
+main()
+{
+    std::cout << "Volt Boot needs two things (Section 8): (1) induce "
+                 "SRAM retention across the\npower cycle, and (2) read "
+                 "the unmodified SRAM after reboot. Each defence breaks\n"
+                 "one of them — or neither.\n\n";
+
+    struct Entry
+    {
+        Countermeasure c;
+        const char *why;
+    };
+    const Entry entries[] = {
+        {Countermeasure::None, "nothing in the way"},
+        {Countermeasure::PurgeOnShutdown,
+         "breaks nothing: an abrupt disconnect halts software before "
+         "any purge hook runs"},
+        {Countermeasure::BootSramReset,
+         "breaks (2): MBIST-style hardware zeroises every SRAM at "
+         "reset, before any software"},
+        {Countermeasure::TrustZone,
+         "breaks (2) for secure data: NS-bit checks block debug reads; "
+         "flipping the attribute erases the line"},
+        {Countermeasure::AuthenticatedBoot,
+         "breaks (2): unsigned attacker media never boots, so nothing "
+         "reads the retained SRAM"},
+        {Countermeasure::EliminateDomainSeparation,
+         "breaks (1): no separately holdable SRAM rail exists, but "
+         "costs power/performance and is impractical"},
+    };
+
+    TextTable table({"Defence", "Attack", "Recovered", "Why"});
+    for (const Entry &e : entries) {
+        const CountermeasureResult r =
+            evaluateCountermeasure(SocConfig::bcm2711(), e.c);
+        table.addRow({toString(e.c),
+                      r.attack_succeeded ? "SUCCEEDS" : "defeated",
+                      TextTable::pct(r.recovered_fraction), e.why});
+    }
+    std::cout << table.render();
+
+    std::cout << "\nthe paper's conclusion: only boot-time SRAM reset, "
+                 "enforced TrustZone attributes, or\nmandated "
+                 "authenticated boot are practical defences; software "
+                 "purges are bypassed by\npulling the plug.\n";
+    return 0;
+}

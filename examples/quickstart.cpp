@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: the complete Volt Boot attack in ~60 lines.
+ *
+ * Builds a Raspberry-Pi-4-class device, runs a bare-metal victim that
+ * parks a recognisable pattern in the L1 d-cache, executes the four
+ * attack steps, and shows the pattern surviving the power cycle into the
+ * attacker's dump.
+ *
+ *   $ ./quickstart
+ */
+
+#include <iostream>
+
+#include "core/attack.hh"
+#include "os/baremetal.hh"
+#include "os/workloads.hh"
+#include "soc/soc.hh"
+
+using namespace voltboot;
+
+int
+main()
+{
+    // 1. The victim device: a Raspberry Pi 4 (BCM2711, 4x Cortex-A72).
+    Soc soc(SocConfig::bcm2711());
+    soc.powerOn();
+
+    // 2. Victim software: stores secret-looking data; with a write-back
+    //    cache the data lives in SRAM only, never reaching DRAM.
+    BareMetalRunner runner(soc);
+    const uint64_t secret_addr = soc.config().dram_base + 0x40000;
+    runner.runOn(0, workloads::patternStore(secret_addr, 4096, 0xA5));
+    std::cout << "victim: wrote 4 KB of 0xA5 'secrets' into core 0's "
+                 "L1 d-cache\n";
+    std::cout << "DRAM copy exists: "
+              << (soc.dramArray().readByte(0x40000) == 0xA5 ? "yes"
+                                                            : "no (write-"
+                                                              "back)")
+              << "\n\n";
+
+    // 3. The attack: attach a bench supply to test pad TP15 (VDD_CORE),
+    //    pull the plug, reboot from USB, dump the cache via RAMINDEX.
+    VoltBootAttack attack(soc);
+    const AttackOutcome outcome = attack.execute();
+    for (const auto &line : attack.trace())
+        std::cout << line << "\n";
+    if (!outcome.rebooted_into_attacker_code) {
+        std::cout << "attack failed: " << outcome.failure_reason << "\n";
+        return 1;
+    }
+
+    // 4. Extraction and analysis.
+    const MemoryImage dump = attack.dumpL1(0, L1Ram::DData);
+    size_t hits = 0;
+    for (uint8_t b : dump.bytes())
+        hits += b == 0xA5;
+    std::cout << "\nattacker's dump: " << dump.sizeBytes()
+              << " bytes of L1D data RAM\n";
+    std::cout << "secret bytes recovered: " << hits << " / 4096 ("
+              << (hits >= 4096 ? "100%" : "partial") << ")\n";
+    const std::vector<uint8_t> line_of_secret(64, 0xA5);
+    const auto where = dump.findAll(line_of_secret);
+    if (!where.empty()) {
+        std::cout << "\nfirst cache line of the recovered secret (dump "
+                     "offset "
+                  << where.front() << "):\n"
+                  << dump.slice(where.front(), 64).hexdump(64);
+    }
+    return hits >= 4096 ? 0 : 1;
+}

@@ -1,0 +1,167 @@
+#include "core/analysis.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+
+RetentionReport
+compareImages(const MemoryImage &dump, const MemoryImage &truth)
+{
+    RetentionReport r;
+    r.total_bits = truth.sizeBits();
+    r.error_bits = MemoryImage::hammingDistance(dump, truth);
+    return r;
+}
+
+ElementRecovery
+recoverElements(std::span<const MemoryImage> way_dumps,
+                std::span<const uint64_t> elements)
+{
+    ElementRecovery out;
+    out.total = elements.size();
+    out.per_way.assign(way_dumps.size(), 0);
+
+    for (uint64_t element : elements) {
+        uint8_t needle[8];
+        std::memcpy(needle, &element, 8);
+        bool anywhere = false;
+        for (size_t w = 0; w < way_dumps.size(); ++w) {
+            const auto &bytes = way_dumps[w].bytes();
+            bool found = false;
+            for (size_t off = 0; off + 8 <= bytes.size() && !found;
+                 off += 8)
+                found = std::memcmp(bytes.data() + off, needle, 8) == 0;
+            if (found) {
+                ++out.per_way[w];
+                anywhere = true;
+            }
+        }
+        if (anywhere)
+            ++out.in_union;
+    }
+    return out;
+}
+
+std::vector<CachedLineInfo>
+reconstructTagRam(const MemoryImage &tag_dump,
+                  const CacheGeometry &geometry, bool include_invalid)
+{
+    const size_t sets = geometry.sets();
+    if (tag_dump.sizeBytes() < geometry.ways * sets * 8)
+        fatal("reconstructTagRam: dump smaller than the tag RAM");
+
+    const size_t off_bits = std::countr_zero(geometry.line_bytes);
+    const size_t set_bits = std::countr_zero(sets);
+
+    std::vector<CachedLineInfo> out;
+    for (size_t way = 0; way < geometry.ways; ++way) {
+        for (size_t set = 0; set < sets; ++set) {
+            const size_t byte_off = (way * sets + set) * 8;
+            uint64_t entry = 0;
+            for (int b = 0; b < 8; ++b)
+                entry |= static_cast<uint64_t>(
+                             tag_dump.byteAt(byte_off + b))
+                         << (8 * b);
+            CachedLineInfo info;
+            info.way = way;
+            info.set = set;
+            info.valid = entry & Cache::kFlagValid;
+            info.dirty = entry & Cache::kFlagDirty;
+            info.locked = entry & Cache::kFlagLocked;
+            info.secure = !(entry & Cache::kFlagNonSecure);
+            const uint64_t tag = entry & 0xffffffffffffull;
+            info.phys_addr =
+                (tag << (off_bits + set_bits)) | (set << off_bits);
+            if (info.valid || include_invalid)
+                out.push_back(info);
+        }
+    }
+    return out;
+}
+
+MemoryImage
+lineContent(const CachedLineInfo &line, const MemoryImage &data_dump,
+            const CacheGeometry &geometry)
+{
+    const size_t offset =
+        (line.way * geometry.sets() + line.set) * geometry.line_bytes;
+    return data_dump.slice(offset, geometry.line_bytes);
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("TextTable: need at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        fatal("TextTable: row has ", cells.size(), " cells, expected ",
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (size_t c = 0; c < cells.size(); ++c)
+            os << " " << std::setw(static_cast<int>(widths[c]))
+               << std::left << cells[c] << " |";
+        os << "\n";
+    };
+    emit(headers_);
+    os << "|";
+    for (size_t c = 0; c < widths.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+TextTable::pct(double fraction, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << fraction * 100.0
+       << "%";
+    return os.str();
+}
+
+std::string
+TextTable::num(double value, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string
+TextTable::hex(uint64_t value)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << std::uppercase << value;
+    return os.str();
+}
+
+} // namespace voltboot

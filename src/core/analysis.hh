@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Post-attack analysis: the metrics the paper reports, plus a small text
+ * table formatter used by the bench harness to print paper-style tables.
+ */
+
+#ifndef VOLTBOOT_CORE_ANALYSIS_HH
+#define VOLTBOOT_CORE_ANALYSIS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "sram/memory_image.hh"
+
+namespace voltboot
+{
+
+/** Comparison of a post-attack dump against ground truth. */
+struct RetentionReport
+{
+    size_t total_bits = 0;
+    size_t error_bits = 0;
+
+    /** Fraction of bits that flipped (the paper's "error"). */
+    double errorFraction() const
+    {
+        return total_bits ? static_cast<double>(error_bits) / total_bits
+                          : 0.0;
+    }
+    /** Retention accuracy = 1 - error. */
+    double accuracy() const { return 1.0 - errorFraction(); }
+};
+
+/** Bit-exact comparison of @p dump against @p truth. */
+RetentionReport compareImages(const MemoryImage &dump,
+                              const MemoryImage &truth);
+
+/**
+ * Table 4 accounting: how many ground-truth 8-byte elements appear in
+ * each way dump and in their union.
+ */
+struct ElementRecovery
+{
+    size_t total = 0;
+    std::vector<size_t> per_way; ///< Found in way i.
+    size_t in_union = 0;         ///< Found in at least one way.
+
+    double
+    fractionRecovered() const
+    {
+        return total ? static_cast<double>(in_union) / total : 0.0;
+    }
+};
+
+/** Count recovered elements across a set of per-way dumps. */
+ElementRecovery recoverElements(std::span<const MemoryImage> way_dumps,
+                                std::span<const uint64_t> elements);
+
+/**
+ * One cache line reconstructed from a RAMINDEX tag-RAM dump — the
+ * forensic step after extraction: the tag RAM tells the attacker WHICH
+ * physical addresses the victim had cached (and which lines were dirty,
+ * locked, or secure), so the data-RAM dump can be mapped back onto the
+ * victim's address space.
+ */
+struct CachedLineInfo
+{
+    size_t way = 0;
+    size_t set = 0;
+    uint64_t phys_addr = 0; ///< Base address of the cached line.
+    bool valid = false;
+    bool dirty = false;
+    bool locked = false;
+    bool secure = false;
+};
+
+/**
+ * Decode a tag-RAM dump (way-major, 8 bytes per entry, as produced by
+ * VoltBootAttack::dumpL1 with L1Ram::DTag/ITag) against @p geometry.
+ * Only entries with the valid flag set are returned; post-power-cycle
+ * tag RAM that was invalidated still decodes (the attack's point), so
+ * pass @p include_invalid to see everything.
+ */
+std::vector<CachedLineInfo> reconstructTagRam(const MemoryImage &tag_dump,
+                                              const CacheGeometry &geometry,
+                                              bool include_invalid = false);
+
+/**
+ * Join a tag dump with the matching data dump: returns the line content
+ * for @p line (as located by reconstructTagRam) out of @p data_dump
+ * (way-major layout from dumpL1).
+ */
+MemoryImage lineContent(const CachedLineInfo &line,
+                        const MemoryImage &data_dump,
+                        const CacheGeometry &geometry);
+
+/**
+ * Minimal fixed-width text table for paper-style bench output.
+ * Columns auto-size; markdown-ish separators.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row (must match the header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+    /** Format helpers. */
+    static std::string pct(double fraction, int decimals = 2);
+    static std::string num(double value, int decimals = 1);
+    static std::string hex(uint64_t value);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_CORE_ANALYSIS_HH

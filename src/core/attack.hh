@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The Volt Boot attack and its cold-boot baseline.
+ *
+ * VoltBootAttack walks the four steps of Section 6.1:
+ *   1. identify the target power domain and its board test pad,
+ *   2. attach a matched external voltage probe there,
+ *   3. power-cycle the board and boot attacker software (USB media on
+ *      the Raspberry Pis; the i.MX535 boots from internal ROM and is
+ *      dumped over JTAG),
+ *   4. extract and analyse the retained SRAM.
+ *
+ * Cache extraction runs a real vb64 extraction program on the victim
+ * cores: it leaves the caches disabled, loops RAMINDEX reads with the
+ * required dsb sy; isb barrier pairs, and stores the words to DRAM,
+ * exactly mirroring the paper's CP15 procedure.
+ *
+ * ColdBootAttack is the control experiment (Section 3): same steps but
+ * no probe — only low ambient temperature and the cells' intrinsic
+ * retention stand between the data and oblivion.
+ */
+
+#ifndef VOLTBOOT_CORE_ATTACK_HH
+#define VOLTBOOT_CORE_ATTACK_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hh"
+#include "power/transient.hh"
+#include "soc/soc.hh"
+#include "sram/memory_image.hh"
+
+namespace voltboot
+{
+
+/** Attacker equipment and timing. */
+struct AttackConfig
+{
+    /** Bench supply parameters; voltage is matched to the pad at attach
+     * time, so only current capability and impedance matter here. */
+    Amp probe_max_current{3.0};
+    Ohm probe_impedance{0.05};
+    /** How long the board stays disconnected from main power. */
+    Seconds off_time = Seconds::milliseconds(500);
+    /** DRAM address the extraction program dumps into. */
+    uint64_t dump_base_offset = 0x80000;
+    /** Extraction program load address (DRAM offset). */
+    uint64_t extractor_offset = 0x1000;
+};
+
+/** Which L1 RAM to extract. */
+enum class L1Ram
+{
+    DData,
+    IData,
+    DTag,
+    ITag,
+};
+
+/** Outcome of an attack run. */
+struct AttackOutcome
+{
+    bool probe_attached = false;
+    bool rebooted_into_attacker_code = false;
+    std::optional<ProbeTransient> transient;
+    std::string failure_reason;
+};
+
+/** Orchestrates Volt Boot against a Soc. */
+class VoltBootAttack
+{
+  public:
+    VoltBootAttack(Soc &soc, AttackConfig config = {});
+
+    /** Steps 1-2: find the pad (from the platform database, as an
+     * attacker would from PCB inspection) and attach a matched probe. */
+    AttackOutcome attachProbe();
+
+    /** Attach at an explicit pad (to demonstrate wrong-domain failures). */
+    AttackOutcome attachProbeAt(const std::string &pad_label);
+
+    /** Step 3: cut main power, wait, reboot. For pad-booted platforms
+     * this boots attacker media; ROM-boot platforms (i.MX) come up by
+     * themselves. Returns false if authenticated boot blocks us. */
+    AttackOutcome powerCycleAndBoot();
+
+    /** Convenience: attachProbe + powerCycleAndBoot. */
+    AttackOutcome execute();
+
+    /** @name Step 4: extraction */
+    ///@{
+    /** Dump one way of an L1 RAM on @p core by running the extraction
+     * program there (RAMINDEX + barriers, caches disabled). */
+    MemoryImage dumpL1Way(size_t core, L1Ram ram, size_t way);
+    /** All ways, way-major (matches Cache::dumpAll layout). */
+    MemoryImage dumpL1(size_t core, L1Ram ram);
+    /** Dump the vector register file of @p core via a vread/str program. */
+    MemoryImage dumpVectorRegisters(size_t core);
+    /** Dump the iRAM over JTAG (i.MX path). */
+    MemoryImage dumpIram();
+    /** Dump @p core's DTLB entry RAM via RAMINDEX (Section 2.1's wider
+     * internal-RAM surface). */
+    MemoryImage dumpDtlb(size_t core);
+    /** Dump @p core's BTB entry RAM via RAMINDEX. */
+    MemoryImage dumpBtb(size_t core);
+    ///@}
+
+    /** Human-readable narration of the steps taken (Figure 5 bench). */
+    const std::vector<std::string> &trace() const { return trace_; }
+
+    /** Mark the system as already rebooted into attacker-controlled
+     * execution; for reuse of the extraction machinery when the power
+     * cycle happened outside this object (e.g. the cold boot control). */
+    void assumeBooted() { booted_ = true; }
+
+    const AttackConfig &config() const { return config_; }
+
+  private:
+    MemoryImage readDumpFromDram(size_t core, size_t bytes);
+    void note(std::string line);
+
+    Soc &soc_;
+    AttackConfig config_;
+    std::vector<std::string> trace_;
+    bool booted_ = false;
+};
+
+/**
+ * The Section 3 control: classic cold boot against on-chip SRAM. The
+ * board is chilled to @p temperature, power is cut for @p off_time with
+ * no probe anywhere, and the same extraction pipeline runs afterwards.
+ */
+class ColdBootAttack
+{
+  public:
+    ColdBootAttack(Soc &soc, Temperature temperature,
+                   Seconds off_time = Seconds::milliseconds(500),
+                   AttackConfig config = {});
+
+    /** Cut power, wait, reboot attacker code. */
+    bool powerCycleAndBoot();
+
+    /** Extraction identical to the Volt Boot path. */
+    MemoryImage dumpL1(size_t core, L1Ram ram);
+    MemoryImage dumpL1Way(size_t core, L1Ram ram, size_t way);
+
+  private:
+    Soc &soc_;
+    Temperature temperature_;
+    Seconds off_time_;
+    VoltBootAttack extractor_; ///< Reuses the extraction machinery.
+};
+
+/** The attacker's RAMINDEX extraction program for one L1 way. */
+Program buildWayExtractor(const Soc &soc, L1Ram ram, size_t way,
+                          uint64_t load_address, uint64_t dump_base);
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_CORE_ATTACK_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The Section 8 countermeasure survey, runnable.
+ *
+ * Each countermeasure maps onto a platform-configuration change or an
+ * attack-procedure change; evaluate() runs the full Volt Boot pipeline
+ * against a fresh device with the defence active and reports whether the
+ * secret survived into the attacker's hands.
+ */
+
+#ifndef VOLTBOOT_CORE_COUNTERMEASURES_HH
+#define VOLTBOOT_CORE_COUNTERMEASURES_HH
+
+#include <string>
+#include <vector>
+
+#include "soc/soc_config.hh"
+
+namespace voltboot
+{
+
+/** Defences surveyed by the paper. */
+enum class Countermeasure
+{
+    None,
+    /** OS purges SRAM in the power-down path — defeated by an abrupt
+     * disconnect, which is why attackers pull the plug. */
+    PurgeOnShutdown,
+    /** Hardware zeroises all on-chip SRAM at reset (MBIST-style). */
+    BootSramReset,
+    /** TrustZone NS-bit enforcement blocks debug reads of secure lines. */
+    TrustZone,
+    /** OEM-signed boot: attacker media refuses to load. */
+    AuthenticatedBoot,
+    /** Single merged power domain: no separately holdable SRAM rail. */
+    EliminateDomainSeparation,
+};
+
+const char *toString(Countermeasure c);
+
+/** One row of the survey. */
+struct CountermeasureResult
+{
+    Countermeasure defence;
+    bool attack_succeeded;     ///< Did the attacker recover the pattern?
+    double recovered_fraction; ///< Bits of the secret recovered correctly.
+    std::string notes;
+};
+
+/** Apply @p defence to a platform configuration. */
+SocConfig applyCountermeasure(const SocConfig &base, Countermeasure defence);
+
+/**
+ * Run the full pipeline (bare-metal pattern victim in the d-cache,
+ * Volt Boot, extraction, comparison) against @p base with @p defence
+ * active. @p orderly_shutdown runs the OS purge hook before the cut,
+ * demonstrating why PurgeOnShutdown only helps against polite attackers.
+ */
+CountermeasureResult evaluateCountermeasure(const SocConfig &base,
+                                            Countermeasure defence,
+                                            bool orderly_shutdown = false);
+
+/** The whole survey, one row per defence. */
+std::vector<CountermeasureResult> surveyCountermeasures(
+    const SocConfig &base);
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_CORE_COUNTERMEASURES_HH

@@ -1,0 +1,261 @@
+#include "crypto/aes.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+
+namespace
+{
+
+/** Multiply in GF(2^8) with the AES reduction polynomial x^8+x^4+x^3+x+1. */
+uint8_t
+gmul(uint8_t a, uint8_t b)
+{
+    uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1)
+            p ^= a;
+        const bool hi = a & 0x80;
+        a <<= 1;
+        if (hi)
+            a ^= 0x1b;
+        b >>= 1;
+    }
+    return p;
+}
+
+/** Build the S-box from the field inverse + affine map (no magic table). */
+std::array<uint8_t, 256>
+buildSbox()
+{
+    // Inverses via brute force; 256x256 is trivial at startup.
+    std::array<uint8_t, 256> inv{};
+    for (int a = 1; a < 256; ++a) {
+        for (int b = 1; b < 256; ++b) {
+            if (gmul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)) ==
+                1) {
+                inv[a] = static_cast<uint8_t>(b);
+                break;
+            }
+        }
+    }
+    std::array<uint8_t, 256> sbox{};
+    for (int x = 0; x < 256; ++x) {
+        const uint8_t b = inv[x];
+        uint8_t r = 0;
+        for (int i = 0; i < 8; ++i) {
+            const int bit = ((b >> i) & 1) ^ ((b >> ((i + 4) % 8)) & 1) ^
+                            ((b >> ((i + 5) % 8)) & 1) ^
+                            ((b >> ((i + 6) % 8)) & 1) ^
+                            ((b >> ((i + 7) % 8)) & 1) ^
+                            ((0x63 >> i) & 1);
+            r |= static_cast<uint8_t>(bit) << i;
+        }
+        sbox[x] = r;
+    }
+    return sbox;
+}
+
+std::array<uint8_t, 256>
+buildInvSbox(const std::array<uint8_t, 256> &sbox)
+{
+    std::array<uint8_t, 256> inv{};
+    for (int i = 0; i < 256; ++i)
+        inv[sbox[i]] = static_cast<uint8_t>(i);
+    return inv;
+}
+
+const std::array<uint8_t, 256> &
+invSbox()
+{
+    static const std::array<uint8_t, 256> table = buildInvSbox(Aes::sbox());
+    return table;
+}
+
+void
+subBytes(uint8_t *s)
+{
+    for (int i = 0; i < 16; ++i)
+        s[i] = Aes::sbox()[s[i]];
+}
+
+void
+invSubBytes(uint8_t *s)
+{
+    for (int i = 0; i < 16; ++i)
+        s[i] = invSbox()[s[i]];
+}
+
+// State layout: s[r + 4*c] — column-major, as in FIPS-197.
+void
+shiftRows(uint8_t *s)
+{
+    uint8_t t[16];
+    std::memcpy(t, s, 16);
+    for (int r = 1; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            s[r + 4 * c] = t[r + 4 * ((c + r) % 4)];
+}
+
+void
+invShiftRows(uint8_t *s)
+{
+    uint8_t t[16];
+    std::memcpy(t, s, 16);
+    for (int r = 1; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            s[r + 4 * ((c + r) % 4)] = t[r + 4 * c];
+}
+
+void
+mixColumns(uint8_t *s)
+{
+    for (int c = 0; c < 4; ++c) {
+        uint8_t *col = s + 4 * c;
+        const uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3;
+        col[1] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3;
+        col[2] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3);
+        col[3] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2);
+    }
+}
+
+void
+invMixColumns(uint8_t *s)
+{
+    for (int c = 0; c < 4; ++c) {
+        uint8_t *col = s + 4 * c;
+        const uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9);
+        col[1] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13);
+        col[2] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11);
+        col[3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14);
+    }
+}
+
+void
+addRoundKey(uint8_t *s, const uint8_t *rk)
+{
+    for (int i = 0; i < 16; ++i)
+        s[i] ^= rk[i];
+}
+
+} // namespace
+
+const std::array<uint8_t, 256> &
+Aes::sbox()
+{
+    static const std::array<uint8_t, 256> table = buildSbox();
+    return table;
+}
+
+std::vector<uint8_t>
+Aes::expandKey(std::span<const uint8_t> key)
+{
+    const size_t nk = key.size() / 4; // key words
+    size_t nr;
+    switch (key.size()) {
+      case 16:
+        nr = 10;
+        break;
+      case 24:
+        nr = 12;
+        break;
+      case 32:
+        nr = 14;
+        break;
+      default:
+        fatal("Aes: key must be 16, 24 or 32 bytes, got ", key.size());
+    }
+
+    const size_t total_words = 4 * (nr + 1);
+    std::vector<uint8_t> w(total_words * 4);
+    std::memcpy(w.data(), key.data(), key.size());
+
+    uint8_t rcon = 1;
+    for (size_t i = nk; i < total_words; ++i) {
+        uint8_t temp[4];
+        std::memcpy(temp, w.data() + (i - 1) * 4, 4);
+        if (i % nk == 0) {
+            // RotWord + SubWord + Rcon
+            const uint8_t t0 = temp[0];
+            temp[0] = sbox()[temp[1]] ^ rcon;
+            temp[1] = sbox()[temp[2]];
+            temp[2] = sbox()[temp[3]];
+            temp[3] = sbox()[t0];
+            rcon = gmul(rcon, 2);
+        } else if (nk > 6 && i % nk == 4) {
+            for (int b = 0; b < 4; ++b)
+                temp[b] = sbox()[temp[b]];
+        }
+        for (int b = 0; b < 4; ++b)
+            w[i * 4 + b] = w[(i - nk) * 4 + b] ^ temp[b];
+    }
+    return w;
+}
+
+Aes::Aes(std::span<const uint8_t> key)
+    : key_bytes_(key.size()),
+      rounds_(key.size() == 16 ? 10 : key.size() == 24 ? 12 : 14),
+      schedule_(expandKey(key))
+{
+}
+
+void
+Aes::encryptBlock(std::span<uint8_t, 16> block) const
+{
+    uint8_t *s = block.data();
+    addRoundKey(s, schedule_.data());
+    for (size_t round = 1; round < rounds_; ++round) {
+        subBytes(s);
+        shiftRows(s);
+        mixColumns(s);
+        addRoundKey(s, schedule_.data() + 16 * round);
+    }
+    subBytes(s);
+    shiftRows(s);
+    addRoundKey(s, schedule_.data() + 16 * rounds_);
+}
+
+void
+Aes::decryptBlock(std::span<uint8_t, 16> block) const
+{
+    uint8_t *s = block.data();
+    addRoundKey(s, schedule_.data() + 16 * rounds_);
+    for (size_t round = rounds_ - 1; round >= 1; --round) {
+        invShiftRows(s);
+        invSubBytes(s);
+        addRoundKey(s, schedule_.data() + 16 * round);
+        invMixColumns(s);
+    }
+    invShiftRows(s);
+    invSubBytes(s);
+    addRoundKey(s, schedule_.data());
+}
+
+std::vector<uint8_t>
+Aes::encryptEcb(std::span<const uint8_t> data) const
+{
+    if (data.size() % 16)
+        fatal("Aes: ECB length must be a multiple of 16");
+    std::vector<uint8_t> out(data.begin(), data.end());
+    for (size_t i = 0; i < out.size(); i += 16)
+        encryptBlock(std::span<uint8_t, 16>(out.data() + i, 16));
+    return out;
+}
+
+std::vector<uint8_t>
+Aes::decryptEcb(std::span<const uint8_t> data) const
+{
+    if (data.size() % 16)
+        fatal("Aes: ECB length must be a multiple of 16");
+    std::vector<uint8_t> out(data.begin(), data.end());
+    for (size_t i = 0; i < out.size(); i += 16)
+        decryptBlock(std::span<uint8_t, 16>(out.data() + i, 16));
+    return out;
+}
+
+} // namespace voltboot

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * AES-128/192/256 (FIPS-197) — block cipher and key expansion.
+ *
+ * Used as the victim workload for the on-chip-cryptography attacks: the
+ * expanded key schedule is exactly what TRESOR-style systems park in
+ * registers and CaSE-style systems park in locked cache lines, and the
+ * schedule's algebraic structure is what the KeyFinder scanner exploits
+ * to locate keys in memory dumps (as in the original cold boot attack).
+ *
+ * This implementation favours clarity and auditability over speed; it is
+ * a victim model, not a production cipher.
+ */
+
+#ifndef VOLTBOOT_CRYPTO_AES_HH
+#define VOLTBOOT_CRYPTO_AES_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace voltboot
+{
+
+/** AES with a 128/192/256-bit key. */
+class Aes
+{
+  public:
+    /** Construct from a raw key of 16, 24 or 32 bytes. */
+    explicit Aes(std::span<const uint8_t> key);
+
+    /** Key length in bytes. */
+    size_t keyBytes() const { return key_bytes_; }
+    /** Number of rounds (10/12/14). */
+    size_t rounds() const { return rounds_; }
+
+    /**
+     * The expanded key schedule: 4*(rounds+1) words, serialised as
+     * bytes in the order they'd sit in memory. This is the secret an
+     * attacker hunts for.
+     */
+    const std::vector<uint8_t> &schedule() const { return schedule_; }
+
+    /** Encrypt one 16-byte block in place. */
+    void encryptBlock(std::span<uint8_t, 16> block) const;
+    /** Decrypt one 16-byte block in place. */
+    void decryptBlock(std::span<uint8_t, 16> block) const;
+
+    /** ECB convenience over whole buffers (length % 16 == 0). */
+    std::vector<uint8_t> encryptEcb(std::span<const uint8_t> data) const;
+    std::vector<uint8_t> decryptEcb(std::span<const uint8_t> data) const;
+
+    /**
+     * Expand @p key into a schedule without building an Aes object
+     * (shared with KeyFinder's candidate verification).
+     */
+    static std::vector<uint8_t> expandKey(std::span<const uint8_t> key);
+
+    /** The AES S-box (exposed for KeyFinder's schedule checks). */
+    static const std::array<uint8_t, 256> &sbox();
+
+  private:
+    size_t key_bytes_;
+    size_t rounds_;
+    std::vector<uint8_t> schedule_;
+};
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_CRYPTO_AES_HH

@@ -1,0 +1,177 @@
+#include "crypto/key_corrector.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "crypto/aes.hh"
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+
+namespace
+{
+
+/** Bit disagreement between the schedule of @p key and @p window,
+ * counted over the WHOLE window (key bytes included, since the observed
+ * key bytes may themselves be corrupted). */
+size_t
+scheduleDistance(std::span<const uint8_t> key,
+                 std::span<const uint8_t> window)
+{
+    const std::vector<uint8_t> ideal = Aes::expandKey(key);
+    size_t errors = 0;
+    for (size_t i = 0; i < ideal.size(); ++i)
+        errors += std::popcount(static_cast<uint8_t>(window[i] ^ ideal[i]));
+    return errors;
+}
+
+} // namespace
+
+std::optional<CorrectedKey>
+KeyCorrector::correct(std::span<const uint8_t> window,
+                      size_t key_bytes) const
+{
+    if (key_bytes != 16 && key_bytes != 24 && key_bytes != 32)
+        fatal("KeyCorrector: unsupported key size ", key_bytes);
+    const size_t schedule_bytes = Aes::expandKey(
+        std::vector<uint8_t>(key_bytes, 0)).size();
+    if (window.size() < schedule_bytes)
+        fatal("KeyCorrector: window smaller than a schedule");
+
+    std::vector<uint8_t> key(window.begin(), window.begin() + key_bytes);
+    size_t best = scheduleDistance(key, window);
+    size_t flips = 0;
+    size_t iterations = 0;
+
+    // Greedy steepest-descent over single key-bit flips. The schedule's
+    // avalanche makes wrong bits highly visible: flipping an incorrect
+    // key bit removes its entire error cascade at once. When single
+    // flips stall (interacting errors within one word), escalate to a
+    // two-bit lookahead before giving up.
+    const double derived_bits_d =
+        static_cast<double>(schedule_bytes * 8);
+    bool improved = true;
+    while (improved && iterations < config_.max_iterations && best > 0) {
+        improved = false;
+        size_t best_bit = SIZE_MAX;
+        size_t best_after = best;
+        for (size_t bit = 0; bit < key_bytes * 8; ++bit) {
+            key[bit / 8] ^= 1u << (bit % 8);
+            const size_t d = scheduleDistance(key, window);
+            key[bit / 8] ^= 1u << (bit % 8);
+            if (d < best_after) {
+                best_after = d;
+                best_bit = bit;
+            }
+        }
+        ++iterations;
+        if (best_bit != SIZE_MAX) {
+            key[best_bit / 8] ^= 1u << (best_bit % 8);
+            best = best_after;
+            ++flips;
+            improved = true;
+            continue;
+        }
+        // Stalled above the acceptance bar: pairwise lookahead.
+        if (static_cast<double>(best) / derived_bits_d <=
+            config_.accept_threshold)
+            break;
+        size_t best_i = SIZE_MAX, best_j = SIZE_MAX;
+        for (size_t i = 0; i + 1 < key_bytes * 8; ++i) {
+            key[i / 8] ^= 1u << (i % 8);
+            for (size_t j = i + 1; j < key_bytes * 8; ++j) {
+                key[j / 8] ^= 1u << (j % 8);
+                const size_t d = scheduleDistance(key, window);
+                key[j / 8] ^= 1u << (j % 8);
+                if (d < best_after) {
+                    best_after = d;
+                    best_i = i;
+                    best_j = j;
+                }
+            }
+            key[i / 8] ^= 1u << (i % 8);
+        }
+        if (best_i != SIZE_MAX) {
+            key[best_i / 8] ^= 1u << (best_i % 8);
+            key[best_j / 8] ^= 1u << (best_j % 8);
+            best = best_after;
+            flips += 2;
+            improved = true;
+        }
+    }
+
+    const double derived_bits =
+        static_cast<double>(schedule_bytes * 8);
+    if (static_cast<double>(best) / derived_bits >
+        config_.accept_threshold)
+        return std::nullopt;
+
+    CorrectedKey out;
+    out.key = std::move(key);
+    out.residual_bit_errors = best;
+    out.key_bits_flipped = flips;
+    out.iterations = iterations;
+    return out;
+}
+
+double
+RobustKeyScanner::firstRoundMismatch(std::span<const uint8_t> window,
+                                     size_t key_bytes)
+{
+    // Regenerate only as far as the first derived round (16 bytes past
+    // the key) and compare. Key-bit errors perturb a handful of these
+    // bits; random data disagrees on about half.
+    const std::vector<uint8_t> ideal =
+        Aes::expandKey(window.subspan(0, key_bytes));
+    size_t errors = 0;
+    const size_t begin = key_bytes;
+    const size_t end = key_bytes + 16;
+    for (size_t i = begin; i < end; ++i)
+        errors += std::popcount(
+            static_cast<uint8_t>(window[i] ^ ideal[i]));
+    return static_cast<double>(errors) / (16.0 * 8.0);
+}
+
+std::vector<RobustScanHit>
+RobustKeyScanner::scan(const MemoryImage &image, size_t key_bytes) const
+{
+    std::vector<RobustScanHit> hits;
+    const size_t schedule_bytes =
+        Aes::expandKey(std::vector<uint8_t>(key_bytes, 0)).size();
+    const auto &bytes = image.bytes();
+    if (bytes.size() < schedule_bytes)
+        return hits;
+    for (size_t off = 0; off + schedule_bytes <= bytes.size();
+         off += stride_) {
+        std::span<const uint8_t> window(bytes.data() + off,
+                                        schedule_bytes);
+        // Constant windows are never schedules (Rcon forbids them).
+        bool all_same = true;
+        for (size_t i = 1; i < key_bytes && all_same; ++i)
+            all_same = window[i] == window[0];
+        if (all_same)
+            continue;
+        if (firstRoundMismatch(window, key_bytes) > prefilter_)
+            continue;
+        if (auto fixed = corrector_.correct(window, key_bytes))
+            hits.push_back(RobustScanHit{off, std::move(*fixed)});
+    }
+    std::sort(hits.begin(), hits.end(),
+              [](const RobustScanHit &a, const RobustScanHit &b) {
+                  return a.corrected.residual_bit_errors <
+                         b.corrected.residual_bit_errors;
+              });
+    return hits;
+}
+
+std::optional<RobustScanHit>
+RobustKeyScanner::best(const MemoryImage &image, size_t key_bytes) const
+{
+    auto hits = scan(image, key_bytes);
+    if (hits.empty())
+        return std::nullopt;
+    return std::move(hits.front());
+}
+
+} // namespace voltboot

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Error-correcting AES key reconstruction from decayed key schedules.
+ *
+ * The original cold boot work recovers keys from partially decayed DRAM
+ * by exploiting the key schedule's ~11x redundancy: even when bits of
+ * the master key itself have flipped, the surviving derived round-key
+ * bits over-constrain it. This module implements a local-search
+ * corrector: starting from the observed (possibly corrupted) master-key
+ * bytes, greedily flip key bits while the regenerated schedule's
+ * disagreement with the observed window shrinks.
+ *
+ * Two asymmetries matter for the paper's argument:
+ *  - DRAM decays toward a known ground state, so low error rates are
+ *    correctable and classic cold boot succeeds on DRAM;
+ *  - SRAM is bistable (errors in both polarities, toward a per-cell
+ *    random fingerprint), and a realistic SRAM cold boot leaves ~50%
+ *    error — far beyond any corrector. Volt Boot sidesteps the question
+ *    by producing error-free dumps.
+ */
+
+#ifndef VOLTBOOT_CRYPTO_KEY_CORRECTOR_HH
+#define VOLTBOOT_CRYPTO_KEY_CORRECTOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sram/memory_image.hh"
+
+namespace voltboot
+{
+
+/** Result of a correction attempt. */
+struct CorrectedKey
+{
+    std::vector<uint8_t> key;  ///< Reconstructed master key.
+    size_t residual_bit_errors; ///< Schedule disagreement after repair.
+    size_t key_bits_flipped;    ///< Corrections applied to the key bytes.
+    size_t iterations;          ///< Local-search steps taken.
+};
+
+/** Tunables for the local search. */
+struct KeyCorrectorConfig
+{
+    /** Give up when the residual disagreement exceeds this fraction of
+     * the derived-schedule bits (the window is then not a schedule). */
+    double accept_threshold = 0.05;
+    /** Hard cap on local-search iterations. */
+    size_t max_iterations = 512;
+};
+
+/**
+ * Reconstructs AES master keys from corrupted schedule windows.
+ */
+class KeyCorrector
+{
+  public:
+    explicit KeyCorrector(KeyCorrectorConfig config = {})
+        : config_(config)
+    {}
+
+    /**
+     * Attempt to reconstruct the AES key whose schedule (of
+     * @p key_bytes-byte keys) best explains @p window. Returns nullopt
+     * when the residual stays above the acceptance threshold.
+     */
+    std::optional<CorrectedKey> correct(std::span<const uint8_t> window,
+                                        size_t key_bytes) const;
+
+  private:
+    KeyCorrectorConfig config_;
+};
+
+/** A correction-scan hit. */
+struct RobustScanHit
+{
+    size_t offset;
+    CorrectedKey corrected;
+};
+
+/**
+ * Slide over a memory image looking for *decayed* key schedules: windows
+ * are pre-filtered by their first-round consistency (cheap; one key-bit
+ * error perturbs only a few first-round bits, while random data
+ * disagrees on ~50%), then handed to the KeyCorrector. This is what
+ * recovers disk keys from a chilled, transplanted DRAM image — the
+ * attack the paper's on-chip crypto schemes were designed to stop.
+ */
+class RobustKeyScanner
+{
+  public:
+    RobustKeyScanner(KeyCorrector corrector, size_t stride = 4,
+                     double prefilter_threshold = 0.375)
+        : corrector_(corrector), stride_(stride),
+          prefilter_(prefilter_threshold)
+    {}
+
+    /** All correctable schedules in @p image, best first. */
+    std::vector<RobustScanHit> scan(const MemoryImage &image,
+                                    size_t key_bytes) const;
+
+    /** The single best hit, if any. */
+    std::optional<RobustScanHit> best(const MemoryImage &image,
+                                      size_t key_bytes) const;
+
+    /** Fraction of first-round bits disagreeing for @p window. */
+    static double firstRoundMismatch(std::span<const uint8_t> window,
+                                     size_t key_bytes);
+
+  private:
+    KeyCorrector corrector_;
+    size_t stride_;
+    double prefilter_;
+};
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_CRYPTO_KEY_CORRECTOR_HH

@@ -1,0 +1,514 @@
+#include "isa/assembler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+
+std::vector<uint8_t>
+Program::bytes() const
+{
+    std::vector<uint8_t> out(words.size() * 4);
+    for (size_t i = 0; i < words.size(); ++i) {
+        out[i * 4 + 0] = words[i] & 0xff;
+        out[i * 4 + 1] = (words[i] >> 8) & 0xff;
+        out[i * 4 + 2] = (words[i] >> 16) & 0xff;
+        out[i * 4 + 3] = (words[i] >> 24) & 0xff;
+    }
+    return out;
+}
+
+namespace
+{
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+std::string
+trim(std::string s)
+{
+    const auto not_space = [](unsigned char c) { return !std::isspace(c); };
+    s.erase(s.begin(), std::find_if(s.begin(), s.end(), not_space));
+    s.erase(std::find_if(s.rbegin(), s.rend(), not_space).base(), s.end());
+    return s;
+}
+
+/** Parse a decimal or 0x-hex integer (an optional leading '#' is eaten). */
+uint64_t
+parseImm(const std::string &tok, size_t line)
+{
+    std::string t = tok;
+    if (!t.empty() && t[0] == '#')
+        t = t.substr(1);
+    bool neg = false;
+    if (!t.empty() && t[0] == '-') {
+        neg = true;
+        t = t.substr(1);
+    }
+    int base = 10;
+    if (t.size() > 2 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) {
+        base = 16;
+        t = t.substr(2);
+    }
+    uint64_t value = 0;
+    auto [ptr, ec] =
+        std::from_chars(t.data(), t.data() + t.size(), value, base);
+    if (ec != std::errc() || ptr != t.data() + t.size())
+        fatal("asm line ", line, ": bad immediate '", tok, "'");
+    return neg ? static_cast<uint64_t>(-static_cast<int64_t>(value)) : value;
+}
+
+/** Parse an x-register name: x0..x30, xzr, sp is not modelled. */
+unsigned
+parseXReg(const std::string &tok, size_t line)
+{
+    std::string t = lower(trim(tok));
+    if (t == "xzr")
+        return kZeroReg;
+    if (t.size() >= 2 && t[0] == 'x') {
+        unsigned n = 0;
+        auto [ptr, ec] =
+            std::from_chars(t.data() + 1, t.data() + t.size(), n);
+        if (ec == std::errc() && ptr == t.data() + t.size() && n <= 30)
+            return n;
+    }
+    fatal("asm line ", line, ": bad register '", tok, "'");
+}
+
+/** Parse a v-register name, optionally with a [half] selector. */
+unsigned
+parseVReg(const std::string &tok, size_t line, unsigned *half_out = nullptr)
+{
+    std::string t = lower(trim(tok));
+    unsigned half = 0;
+    const size_t bracket = t.find('[');
+    if (bracket != std::string::npos) {
+        if (t.back() != ']')
+            fatal("asm line ", line, ": bad lane selector '", tok, "'");
+        half = static_cast<unsigned>(
+            parseImm(t.substr(bracket + 1, t.size() - bracket - 2), line));
+        if (half > 1)
+            fatal("asm line ", line, ": lane must be 0 or 1");
+        t = t.substr(0, bracket);
+    }
+    if (t.size() >= 2 && t[0] == 'v') {
+        unsigned n = 0;
+        auto [ptr, ec] =
+            std::from_chars(t.data() + 1, t.data() + t.size(), n);
+        if (ec == std::errc() && ptr == t.data() + t.size() && n <= 31) {
+            if (half_out)
+                *half_out = half;
+            return n;
+        }
+    }
+    fatal("asm line ", line, ": bad vector register '", tok, "'");
+}
+
+/** Parse "[xn]" or "[xn, #imm]" memory operands (split across tokens). */
+void
+parseMemOperand(const std::vector<std::string> &ops, size_t start,
+                size_t line, unsigned *rn, uint32_t *imm)
+{
+    // Operands arrive comma-split, so "[x0, #8]" is two tokens:
+    // "[x0" and "#8]".
+    if (start >= ops.size())
+        fatal("asm line ", line, ": missing memory operand");
+    std::string first = trim(ops[start]);
+    if (first.empty() || first.front() != '[')
+        fatal("asm line ", line, ": expected '[' in memory operand");
+    first = first.substr(1);
+    if (!first.empty() && first.back() == ']') {
+        *rn = parseXReg(first.substr(0, first.size() - 1), line);
+        *imm = 0;
+        return;
+    }
+    *rn = parseXReg(first, line);
+    if (start + 1 >= ops.size())
+        fatal("asm line ", line, ": unterminated memory operand");
+    std::string second = trim(ops[start + 1]);
+    if (second.empty() || second.back() != ']')
+        fatal("asm line ", line, ": expected ']' in memory operand");
+    *imm = static_cast<uint32_t>(
+        parseImm(second.substr(0, second.size() - 1), line));
+    if (*imm > 0xfff)
+        fatal("asm line ", line, ": memory offset exceeds imm12");
+}
+
+Cond
+parseCondSuffix(const std::string &mnemonic, size_t line)
+{
+    // mnemonic is "b.eq" etc.
+    const std::string suffix = mnemonic.substr(2);
+    if (suffix == "eq")
+        return Cond::Eq;
+    if (suffix == "ne")
+        return Cond::Ne;
+    if (suffix == "lt")
+        return Cond::Lt;
+    if (suffix == "ge")
+        return Cond::Ge;
+    if (suffix == "gt")
+        return Cond::Gt;
+    if (suffix == "le")
+        return Cond::Le;
+    fatal("asm line ", line, ": unknown condition '", suffix, "'");
+}
+
+SysReg
+parseSysReg(const std::string &tok, size_t line)
+{
+    const std::string t = lower(trim(tok));
+    if (t == "currentel")
+        return SysReg::CurrentEl;
+    if (t == "sctlr_el1")
+        return SysReg::SctlrEl1;
+    if (t == "mpidr_el1" || t == "coreid")
+        return SysReg::CoreId;
+    fatal("asm line ", line, ": unknown system register '", tok, "'");
+}
+
+} // namespace
+
+std::vector<Assembler::Line>
+Assembler::tokenize(std::string_view source)
+{
+    std::vector<Line> lines;
+    size_t line_no = 0;
+    std::istringstream stream{std::string(source)};
+    std::string raw;
+    while (std::getline(stream, raw)) {
+        ++line_no;
+        // Strip comments.
+        for (const char *marker : {";", "//"}) {
+            const size_t pos = raw.find(marker);
+            if (pos != std::string::npos)
+                raw = raw.substr(0, pos);
+        }
+        std::string text = trim(raw);
+        if (text.empty())
+            continue;
+
+        Line line;
+        line.number = line_no;
+
+        // Leading label?
+        const size_t colon = text.find(':');
+        if (colon != std::string::npos &&
+            text.find_first_of(" \t") > colon) {
+            line.label = trim(text.substr(0, colon));
+            text = trim(text.substr(colon + 1));
+        }
+
+        if (!text.empty()) {
+            const size_t space = text.find_first_of(" \t");
+            line.mnemonic = lower(text.substr(0, space));
+            if (space != std::string::npos) {
+                std::string rest = trim(text.substr(space + 1));
+                std::string current;
+                for (char c : rest) {
+                    if (c == ',') {
+                        line.operands.push_back(trim(current));
+                        current.clear();
+                    } else {
+                        current += c;
+                    }
+                }
+                if (!trim(current).empty())
+                    line.operands.push_back(trim(current));
+            }
+        }
+        lines.push_back(std::move(line));
+    }
+    return lines;
+}
+
+uint32_t
+Assembler::encodeLine(const Line &l, uint64_t pc_words,
+                      const std::vector<Line> &lines,
+                      const std::vector<int64_t> &label_words)
+{
+    using namespace encode;
+
+    auto need = [&](size_t n) {
+        if (l.operands.size() != n)
+            fatal("asm line ", l.number, ": '", l.mnemonic, "' needs ", n,
+                  " operand(s), got ", l.operands.size());
+    };
+    auto label_offset = [&](const std::string &name) -> int32_t {
+        for (size_t i = 0; i < lines.size(); ++i) {
+            if (lines[i].label == name)
+                return static_cast<int32_t>(label_words[i] -
+                                            static_cast<int64_t>(pc_words));
+        }
+        fatal("asm line ", l.number, ": unknown label '", name, "'");
+    };
+
+    const std::string &m = l.mnemonic;
+
+    if (m == "nop")
+        return op(Opcode::Nop);
+    if (m == "hlt")
+        return op(Opcode::Hlt);
+    if (m == "dsb")
+        return op(Opcode::Dsb); // operand ("sy") optional and ignored
+    if (m == "isb")
+        return op(Opcode::Isb);
+    if (m == "ret")
+        return op(Opcode::Ret);
+    if (m == "ic") {
+        // "ic iallu"
+        if (l.operands.size() != 1 || lower(l.operands[0]) != "iallu")
+            fatal("asm line ", l.number, ": only 'ic iallu' is supported");
+        return op(Opcode::IcIallu);
+    }
+    if (m == "dc") {
+        // "dc zva, xn" / "dc civac, xn"
+        need(2);
+        const std::string what = lower(l.operands[0]);
+        const unsigned r = parseXReg(l.operands[1], l.number);
+        if (what == "zva")
+            return op(Opcode::DcZva) | rn(r);
+        if (what == "civac")
+            return op(Opcode::DcCivac) | rn(r);
+        fatal("asm line ", l.number, ": unsupported dc op '", what, "'");
+    }
+    if (m == "movz" || m == "movk") {
+        // movz xd, #imm16 [, lsl #s]
+        if (l.operands.size() != 2 && l.operands.size() != 3)
+            fatal("asm line ", l.number, ": movz/movk needs 2-3 operands");
+        const unsigned r = parseXReg(l.operands[0], l.number);
+        const uint64_t v = parseImm(l.operands[1], l.number);
+        if (v > 0xffff)
+            fatal("asm line ", l.number, ": imm16 out of range");
+        uint32_t s = 0;
+        if (l.operands.size() == 3) {
+            std::string sh = lower(l.operands[2]);
+            if (sh.rfind("lsl", 0) != 0)
+                fatal("asm line ", l.number, ": expected lsl shift");
+            const uint64_t bits = parseImm(trim(sh.substr(3)), l.number);
+            if (bits % 16 != 0 || bits > 48)
+                fatal("asm line ", l.number, ": shift must be 0/16/32/48");
+            s = static_cast<uint32_t>(bits / 16);
+        }
+        const Opcode o = m == "movz" ? Opcode::Movz : Opcode::Movk;
+        return op(o) | rd(r) | imm16(static_cast<uint32_t>(v)) | shift2(s);
+    }
+    if (m == "mov") {
+        need(2);
+        const unsigned d = parseXReg(l.operands[0], l.number);
+        // "mov xd, #imm" becomes movz when the immediate fits.
+        if (l.operands[1][0] == '#') {
+            const uint64_t v = parseImm(l.operands[1], l.number);
+            if (v > 0xffff)
+                fatal("asm line ", l.number,
+                      ": mov immediate too large; use movz/movk");
+            return op(Opcode::Movz) | rd(d) |
+                   imm16(static_cast<uint32_t>(v));
+        }
+        return op(Opcode::MovReg) | rd(d) |
+               rn(parseXReg(l.operands[1], l.number));
+    }
+
+    struct RegRegImm
+    {
+        const char *name;
+        Opcode reg_op;
+        Opcode imm_op;
+    };
+    static const RegRegImm arith[] = {
+        {"add", Opcode::AddReg, Opcode::AddImm},
+        {"sub", Opcode::SubReg, Opcode::SubImm},
+    };
+    for (const auto &a : arith) {
+        if (m == a.name) {
+            need(3);
+            const unsigned d = parseXReg(l.operands[0], l.number);
+            const unsigned n = parseXReg(l.operands[1], l.number);
+            if (l.operands[2][0] == '#') {
+                const uint64_t v = parseImm(l.operands[2], l.number);
+                if (v > 0xfff)
+                    fatal("asm line ", l.number, ": imm12 out of range");
+                return op(a.imm_op) | rd(d) | rn(n) |
+                       imm12(static_cast<uint32_t>(v));
+            }
+            return op(a.reg_op) | rd(d) | rn(n) |
+                   rm(parseXReg(l.operands[2], l.number));
+        }
+    }
+
+    struct RegReg3
+    {
+        const char *name;
+        Opcode o;
+    };
+    static const RegReg3 logic[] = {
+        {"and", Opcode::AndReg}, {"orr", Opcode::OrrReg},
+        {"eor", Opcode::EorReg}, {"subs", Opcode::SubsReg},
+        {"mul", Opcode::Mul},
+    };
+    for (const auto &g : logic) {
+        if (m == g.name) {
+            need(3);
+            return op(g.o) | rd(parseXReg(l.operands[0], l.number)) |
+                   rn(parseXReg(l.operands[1], l.number)) |
+                   rm(parseXReg(l.operands[2], l.number));
+        }
+    }
+
+    if (m == "lsl" || m == "lsr") {
+        need(3);
+        const unsigned d = parseXReg(l.operands[0], l.number);
+        const unsigned n = parseXReg(l.operands[1], l.number);
+        const uint64_t v = parseImm(l.operands[2], l.number);
+        if (v > 63)
+            fatal("asm line ", l.number, ": shift out of range");
+        return op(m == "lsl" ? Opcode::LslImm : Opcode::LsrImm) | rd(d) |
+               rn(n) | imm12(static_cast<uint32_t>(v));
+    }
+
+    if (m == "ldr" || m == "str" || m == "ldrb" || m == "strb") {
+        if (l.operands.size() < 2)
+            fatal("asm line ", l.number, ": bad load/store");
+        const unsigned t = parseXReg(l.operands[0], l.number);
+        unsigned base = 0;
+        uint32_t off = 0;
+        parseMemOperand(l.operands, 1, l.number, &base, &off);
+        Opcode o = m == "ldr"    ? Opcode::Ldr
+                   : m == "str"  ? Opcode::Str
+                   : m == "ldrb" ? Opcode::Ldrb
+                                 : Opcode::Strb;
+        return op(o) | rd(t) | rn(base) | imm12(off);
+    }
+
+    if (m == "cmp") {
+        need(2);
+        const unsigned n = parseXReg(l.operands[0], l.number);
+        if (l.operands[1][0] == '#') {
+            const uint64_t v = parseImm(l.operands[1], l.number);
+            if (v > 0xfff)
+                fatal("asm line ", l.number, ": imm12 out of range");
+            return op(Opcode::CmpImm) | rn(n) |
+                   imm12(static_cast<uint32_t>(v));
+        }
+        return op(Opcode::CmpReg) | rn(n) |
+               rm(parseXReg(l.operands[1], l.number));
+    }
+
+    if (m == "b" || m == "bl") {
+        need(1);
+        const int32_t off = label_offset(l.operands[0]);
+        return op(m == "b" ? Opcode::B : Opcode::Bl) | imm19(off);
+    }
+    if (m == "cbz" || m == "cbnz") {
+        need(2);
+        const unsigned t = parseXReg(l.operands[0], l.number);
+        const int32_t off = label_offset(l.operands[1]);
+        return op(m == "cbz" ? Opcode::Cbz : Opcode::Cbnz) | rd(t) |
+               imm19(off);
+    }
+    if (m.size() > 2 && m[0] == 'b' && m[1] == '.') {
+        need(1);
+        const Cond c = parseCondSuffix(m, l.number);
+        return op(Opcode::BCond) | cond(c) |
+               imm19(label_offset(l.operands[0]));
+    }
+
+    if (m == "ramindex") {
+        need(2);
+        return op(Opcode::RamIndex) | rd(parseXReg(l.operands[0], l.number)) |
+               rn(parseXReg(l.operands[1], l.number));
+    }
+    if (m == "mrs") {
+        need(2);
+        return op(Opcode::Mrs) | rd(parseXReg(l.operands[0], l.number)) |
+               sysreg(parseSysReg(l.operands[1], l.number));
+    }
+    if (m == "msr") {
+        need(2);
+        return op(Opcode::Msr) | rn(parseXReg(l.operands[1], l.number)) |
+               sysreg(parseSysReg(l.operands[0], l.number));
+    }
+
+    if (m == "vdup") {
+        need(2);
+        const unsigned v = parseVReg(l.operands[0], l.number);
+        const uint64_t i = parseImm(l.operands[1], l.number);
+        if (i > 0xff)
+            fatal("asm line ", l.number, ": vdup immediate exceeds a byte");
+        return op(Opcode::VDup) | rd(v) | imm8(static_cast<uint32_t>(i));
+    }
+    if (m == "vins") {
+        need(2);
+        unsigned h = 0;
+        const unsigned v = parseVReg(l.operands[0], l.number, &h);
+        return op(Opcode::VIns) | rd(v) |
+               rn(parseXReg(l.operands[1], l.number)) | half(h);
+    }
+    if (m == "vread") {
+        need(2);
+        unsigned h = 0;
+        const unsigned v = parseVReg(l.operands[1], l.number, &h);
+        return op(Opcode::VRead) | rd(parseXReg(l.operands[0], l.number)) |
+               rn(v) | half(h);
+    }
+
+    fatal("asm line ", l.number, ": unknown mnemonic '", m, "'");
+}
+
+Program
+Assembler::assemble(std::string_view source)
+{
+    const std::vector<Line> lines = tokenize(source);
+
+    // Pass 1: assign word addresses to every line; handle directives.
+    Program program;
+    std::vector<int64_t> label_words(lines.size(), -1);
+    int64_t pc_words = 0;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        label_words[i] = pc_words;
+        const Line &l = lines[i];
+        if (l.mnemonic.empty())
+            continue;
+        if (l.mnemonic == ".org") {
+            if (l.operands.size() != 1)
+                fatal("asm line ", l.number, ": .org needs an address");
+            program.load_address = parseImm(l.operands[0], l.number);
+            continue;
+        }
+        ++pc_words;
+    }
+
+    // Pass 2: encode.
+    int64_t word = 0;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const Line &l = lines[i];
+        if (l.mnemonic.empty() || l.mnemonic == ".org")
+            continue;
+        if (l.mnemonic == ".word") {
+            if (l.operands.size() != 1)
+                fatal("asm line ", l.number, ": .word needs a value");
+            program.words.push_back(static_cast<uint32_t>(
+                parseImm(l.operands[0], l.number)));
+            ++word;
+            continue;
+        }
+        program.words.push_back(
+            encodeLine(l, static_cast<uint64_t>(word), lines, label_words));
+        ++word;
+    }
+    return program;
+}
+
+} // namespace voltboot

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Two-pass text assembler for the vb64 ISA.
+ *
+ * Accepts aarch64-flavoured assembly with labels, comments (';' or '//'),
+ * decimal/hex immediates, and the directives:
+ *
+ *   .org <addr>     set the load address (affects branch targets only
+ *                   insofar as branches are PC-relative word offsets)
+ *   .word <value>   emit a raw 32-bit literal
+ *
+ * Example:
+ *
+ *   // fill v0..v3 with 0xAA
+ *       movz x0, #0xaa
+ *       vdup v0, #0xaa
+ *   loop:
+ *       sub x1, x1, #1
+ *       cbnz x1, loop
+ *       hlt
+ */
+
+#ifndef VOLTBOOT_ISA_ASSEMBLER_HH
+#define VOLTBOOT_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/insn.hh"
+
+namespace voltboot
+{
+
+/** An assembled program: words plus its intended load address. */
+struct Program
+{
+    uint64_t load_address = 0;
+    std::vector<uint32_t> words;
+
+    /** Size in bytes. */
+    size_t sizeBytes() const { return words.size() * 4; }
+
+    /** The program as raw little-endian bytes (ground-truth image). */
+    std::vector<uint8_t> bytes() const;
+};
+
+/** Two-pass assembler; throws FatalError with line info on bad input. */
+class Assembler
+{
+  public:
+    /** Assemble @p source into a Program. */
+    static Program assemble(std::string_view source);
+
+  private:
+    struct Line
+    {
+        size_t number;
+        std::string label;
+        std::string mnemonic;
+        std::vector<std::string> operands;
+    };
+
+    static std::vector<Line> tokenize(std::string_view source);
+    static uint32_t encodeLine(const Line &line, uint64_t pc_words,
+                               const std::vector<Line> &lines,
+                               const std::vector<int64_t> &label_words);
+};
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_ISA_ASSEMBLER_HH

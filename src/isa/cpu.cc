@@ -1,0 +1,356 @@
+#include "isa/cpu.hh"
+
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+
+const char *
+toString(CpuFault fault)
+{
+    switch (fault) {
+      case CpuFault::None:
+        return "None";
+      case CpuFault::UndefinedInstruction:
+        return "UndefinedInstruction";
+      case CpuFault::PrivilegeViolation:
+        return "PrivilegeViolation";
+      case CpuFault::MemoryFault:
+        return "MemoryFault";
+    }
+    return "?";
+}
+
+Cpu::Cpu(unsigned core_id, MemoryPort &port, MemoryArray &xregs,
+         MemoryArray &vregs)
+    : core_id_(core_id), port_(port), xregs_(xregs), vregs_(vregs)
+{
+    if (xregs_.sizeBytes() < 31 * 8)
+        fatal("Cpu: x-register backing store too small");
+    if (vregs_.sizeBytes() < 32 * 16)
+        fatal("Cpu: v-register backing store too small");
+}
+
+void
+Cpu::setEl(unsigned el)
+{
+    if (el > 3)
+        fatal("Cpu: exception level must be 0-3");
+    el_ = el;
+}
+
+uint64_t
+Cpu::x(unsigned idx) const
+{
+    if (idx >= kZeroReg)
+        return 0;
+    return xregs_.readWord64(idx * 8);
+}
+
+void
+Cpu::setX(unsigned idx, uint64_t value)
+{
+    if (idx >= kZeroReg)
+        return; // writes to xzr vanish
+    xregs_.writeWord64(idx * 8, value);
+}
+
+uint64_t
+Cpu::v(unsigned idx, unsigned half) const
+{
+    if (idx > 31 || half > 1)
+        panic("Cpu: bad vector register access v", idx, "[", half, "]");
+    return vregs_.readWord64(idx * 16 + half * 8);
+}
+
+void
+Cpu::setV(unsigned idx, unsigned half, uint64_t value)
+{
+    if (idx > 31 || half > 1)
+        panic("Cpu: bad vector register access v", idx, "[", half, "]");
+    vregs_.writeWord64(idx * 16 + half * 8, value);
+}
+
+void
+Cpu::reset(uint64_t entry_pc)
+{
+    pc_ = entry_pc;
+    halted_ = false;
+    fault_ = CpuFault::None;
+    flag_n_ = flag_z_ = flag_c_ = flag_v_ = false;
+    sctlr_ = 0;
+    el_ = 3;
+    dsb_done_ = isb_done_ = false;
+    retired_ = 0;
+}
+
+void
+Cpu::raise(CpuFault fault)
+{
+    fault_ = fault;
+    halted_ = true;
+}
+
+void
+Cpu::setFlagsForSub(uint64_t a, uint64_t b)
+{
+    const uint64_t r = a - b;
+    flag_n_ = (r >> 63) & 1;
+    flag_z_ = r == 0;
+    flag_c_ = a >= b; // no borrow
+    const bool sa = (a >> 63) & 1, sb = (b >> 63) & 1, sr = (r >> 63) & 1;
+    flag_v_ = (sa != sb) && (sr != sa);
+}
+
+bool
+Cpu::condHolds(Cond c) const
+{
+    switch (c) {
+      case Cond::Eq:
+        return flag_z_;
+      case Cond::Ne:
+        return !flag_z_;
+      case Cond::Lt:
+        return flag_n_ != flag_v_;
+      case Cond::Ge:
+        return flag_n_ == flag_v_;
+      case Cond::Gt:
+        return !flag_z_ && flag_n_ == flag_v_;
+      case Cond::Le:
+        return flag_z_ || flag_n_ != flag_v_;
+    }
+    return false;
+}
+
+bool
+Cpu::step()
+{
+    if (halted_)
+        return false;
+    const uint32_t insn = port_.fetch32(pc_);
+    execute(insn);
+    ++retired_;
+    return !halted_;
+}
+
+uint64_t
+Cpu::run(uint64_t max_steps)
+{
+    uint64_t steps = 0;
+    while (steps < max_steps && step())
+        ++steps;
+    if (!halted_)
+        return steps;
+    return steps + (fault_ == CpuFault::None ? 1 : 1);
+}
+
+void
+Cpu::execute(uint32_t insn)
+{
+    using namespace decode;
+    const Opcode o = op(insn);
+    uint64_t next_pc = pc_ + 4;
+
+    // Any instruction other than the barriers themselves invalidates the
+    // barrier pair required before a RAMINDEX result read.
+    const bool is_barrier = o == Opcode::Dsb || o == Opcode::Isb;
+    if (!is_barrier && o != Opcode::RamIndex)
+        dsb_done_ = isb_done_ = false;
+
+    switch (o) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Hlt:
+        halted_ = true;
+        break;
+      case Opcode::Movz: {
+        const uint64_t v = static_cast<uint64_t>(imm16(insn))
+                           << (16 * shift2(insn));
+        setX(rd(insn), v);
+        break;
+      }
+      case Opcode::Movk: {
+        const unsigned sh = 16 * shift2(insn);
+        uint64_t v = x(rd(insn));
+        v &= ~(0xffffull << sh);
+        v |= static_cast<uint64_t>(imm16(insn)) << sh;
+        setX(rd(insn), v);
+        break;
+      }
+      case Opcode::MovReg:
+        setX(rd(insn), x(rn(insn)));
+        break;
+      case Opcode::AddImm:
+        setX(rd(insn), x(rn(insn)) + imm12(insn));
+        break;
+      case Opcode::SubImm:
+        setX(rd(insn), x(rn(insn)) - imm12(insn));
+        break;
+      case Opcode::AddReg:
+        setX(rd(insn), x(rn(insn)) + x(rm(insn)));
+        break;
+      case Opcode::SubReg:
+        setX(rd(insn), x(rn(insn)) - x(rm(insn)));
+        break;
+      case Opcode::AndReg:
+        setX(rd(insn), x(rn(insn)) & x(rm(insn)));
+        break;
+      case Opcode::OrrReg:
+        setX(rd(insn), x(rn(insn)) | x(rm(insn)));
+        break;
+      case Opcode::EorReg:
+        setX(rd(insn), x(rn(insn)) ^ x(rm(insn)));
+        break;
+      case Opcode::Mul:
+        setX(rd(insn), x(rn(insn)) * x(rm(insn)));
+        break;
+      case Opcode::LslImm:
+        setX(rd(insn), x(rn(insn)) << (imm12(insn) & 63));
+        break;
+      case Opcode::LsrImm:
+        setX(rd(insn), x(rn(insn)) >> (imm12(insn) & 63));
+        break;
+      case Opcode::Ldr:
+        setX(rd(insn), port_.read64(x(rn(insn)) + imm12(insn)));
+        break;
+      case Opcode::Str:
+        port_.write64(x(rn(insn)) + imm12(insn), x(rd(insn)));
+        break;
+      case Opcode::Ldrb:
+        setX(rd(insn), port_.read8(x(rn(insn)) + imm12(insn)));
+        break;
+      case Opcode::Strb:
+        port_.write8(x(rn(insn)) + imm12(insn),
+                     static_cast<uint8_t>(x(rd(insn))));
+        break;
+      case Opcode::B:
+        next_pc = pc_ + 4ll * imm19(insn);
+        port_.branchTaken(pc_, next_pc);
+        break;
+      case Opcode::Bl:
+        setX(30, pc_ + 4);
+        next_pc = pc_ + 4ll * imm19(insn);
+        port_.branchTaken(pc_, next_pc);
+        break;
+      case Opcode::Ret:
+        next_pc = x(30);
+        port_.branchTaken(pc_, next_pc);
+        break;
+      case Opcode::Cbz:
+        if (x(rd(insn)) == 0) {
+            next_pc = pc_ + 4ll * imm19(insn);
+            port_.branchTaken(pc_, next_pc);
+        }
+        break;
+      case Opcode::Cbnz:
+        if (x(rd(insn)) != 0) {
+            next_pc = pc_ + 4ll * imm19(insn);
+            port_.branchTaken(pc_, next_pc);
+        }
+        break;
+      case Opcode::BCond:
+        if (condHolds(cond(insn))) {
+            next_pc = pc_ + 4ll * imm19(insn);
+            port_.branchTaken(pc_, next_pc);
+        }
+        break;
+      case Opcode::CmpReg:
+        setFlagsForSub(x(rn(insn)), x(rm(insn)));
+        break;
+      case Opcode::CmpImm:
+        setFlagsForSub(x(rn(insn)), imm12(insn));
+        break;
+      case Opcode::SubsReg: {
+        const uint64_t a = x(rn(insn)), b = x(rm(insn));
+        setFlagsForSub(a, b);
+        setX(rd(insn), a - b);
+        break;
+      }
+      case Opcode::DcZva:
+        port_.zeroCacheLine(x(rn(insn)));
+        break;
+      case Opcode::DcCivac:
+        port_.cleanInvalidateLine(x(rn(insn)));
+        break;
+      case Opcode::IcIallu:
+        port_.invalidateAllICache();
+        break;
+      case Opcode::Dsb:
+        dsb_done_ = true;
+        break;
+      case Opcode::Isb:
+        if (dsb_done_)
+            isb_done_ = true;
+        break;
+      case Opcode::RamIndex: {
+        if (el_ < 3) {
+            raise(CpuFault::PrivilegeViolation);
+            return;
+        }
+        if (!(dsb_done_ && isb_done_)) {
+            // Without DSB SY; ISB the data register interface returns
+            // stale garbage, as the TRM warns.
+            setX(rd(insn), 0xdeadbeefdeadbeefull);
+        } else {
+            setX(rd(insn), port_.ramIndexRead(x(rn(insn))));
+        }
+        dsb_done_ = isb_done_ = false;
+        break;
+      }
+      case Opcode::Mrs: {
+        switch (sysreg(insn)) {
+          case SysReg::CurrentEl:
+            setX(rd(insn), static_cast<uint64_t>(el_) << 2);
+            break;
+          case SysReg::SctlrEl1:
+            setX(rd(insn), sctlr_);
+            break;
+          case SysReg::CoreId:
+            setX(rd(insn), core_id_);
+            break;
+          default:
+            raise(CpuFault::UndefinedInstruction);
+            return;
+        }
+        break;
+      }
+      case Opcode::Msr: {
+        switch (sysreg(insn)) {
+          case SysReg::SctlrEl1:
+            sctlr_ = x(rn(insn));
+            port_.setCacheEnables(sctlr_ & kSctlrC, sctlr_ & kSctlrI);
+            break;
+          case SysReg::CurrentEl:
+          case SysReg::CoreId:
+            raise(CpuFault::PrivilegeViolation); // read-only
+            return;
+          default:
+            raise(CpuFault::UndefinedInstruction);
+            return;
+        }
+        break;
+      }
+      case Opcode::VDup: {
+        const uint64_t b = imm8(insn);
+        uint64_t splat = 0;
+        for (int i = 0; i < 8; ++i)
+            splat |= b << (8 * i);
+        setV(rd(insn), 0, splat);
+        setV(rd(insn), 1, splat);
+        break;
+      }
+      case Opcode::VIns:
+        setV(rd(insn), half(insn), x(rn(insn)));
+        break;
+      case Opcode::VRead:
+        setX(rd(insn), v(rn(insn), half(insn)));
+        break;
+      default:
+        raise(CpuFault::UndefinedInstruction);
+        return;
+    }
+
+    pc_ = next_pc;
+}
+
+} // namespace voltboot

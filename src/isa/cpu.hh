@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The vb64 CPU interpreter.
+ *
+ * A simple in-order core with the architectural state the attack targets:
+ * x0-x30, the 128-bit vector file v0-v31 (where TRESOR-style ciphers hide
+ * key schedules), NZCV, an exception level, and SCTLR cache-enable bits.
+ *
+ * The CPU talks to memory through the abstract MemoryPort so the memory
+ * hierarchy (caches, iRAM, DRAM) lives in its own module; instruction
+ * fetches go through the port too, which is how victim code ends up
+ * resident in the i-cache.
+ *
+ * The register files are NOT plain member variables: they are backed by
+ * MemoryArray storage supplied by the SoC, wired into the core power
+ * domain. That is what makes "Volt Boot the register file" (Section 7.2)
+ * fall out of the same physics as the caches.
+ */
+
+#ifndef VOLTBOOT_ISA_CPU_HH
+#define VOLTBOOT_ISA_CPU_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "isa/insn.hh"
+#include "sram/memory_array.hh"
+
+namespace voltboot
+{
+
+/** Faults the core can raise. */
+enum class CpuFault
+{
+    None,
+    UndefinedInstruction,
+    PrivilegeViolation, ///< e.g. RAMINDEX below EL3.
+    MemoryFault,        ///< Unmapped address or TrustZone violation.
+};
+
+const char *toString(CpuFault fault);
+
+/** Abstract memory/system interface the core executes against. */
+class MemoryPort
+{
+  public:
+    virtual ~MemoryPort() = default;
+
+    /** Fetch a 32-bit instruction at @p addr (fills the i-cache). */
+    virtual uint32_t fetch32(uint64_t addr) = 0;
+
+    /** Data accesses (fill/evict the d-cache as configured). */
+    virtual uint64_t read64(uint64_t addr) = 0;
+    virtual void write64(uint64_t addr, uint64_t value) = 0;
+    virtual uint8_t read8(uint64_t addr) = 0;
+    virtual void write8(uint64_t addr, uint8_t value) = 0;
+
+    /** DC ZVA: zero the whole cache line containing @p addr. */
+    virtual void zeroCacheLine(uint64_t addr) = 0;
+    /** DC CIVAC: clean+invalidate the line containing @p addr. */
+    virtual void cleanInvalidateLine(uint64_t addr) = 0;
+    /** IC IALLU: drop validity of all i-cache lines (data RAM untouched). */
+    virtual void invalidateAllICache() = 0;
+
+    /**
+     * RAMINDEX debug read: @p descriptor selects RAM/way/index per the
+     * SoC's encoding; returns the raw data-RAM word, valid bits ignored.
+     */
+    virtual uint64_t ramIndexRead(uint64_t descriptor) = 0;
+
+    /** Toggle d-cache / i-cache enables (SCTLR writes reach the port). */
+    virtual void setCacheEnables(bool dcache_on, bool icache_on) = 0;
+
+    /** A taken branch retired (trains the branch target buffer). */
+    virtual void branchTaken(uint64_t pc, uint64_t target)
+    {
+        (void)pc;
+        (void)target;
+    }
+};
+
+/**
+ * One vb64 hardware thread.
+ *
+ * Construction wires the core to register-file backing storage; the SoC
+ * attaches those arrays to the core power domain so register state obeys
+ * the same retention physics as every other SRAM.
+ */
+class Cpu
+{
+  public:
+    /**
+     * @param core_id Core number reported by MPIDR/CoreId.
+     * @param port    Memory system this core executes against.
+     * @param xregs   Backing storage for x0-x30 (>= 31*8 bytes).
+     * @param vregs   Backing storage for v0-v31 (>= 32*16 bytes).
+     */
+    Cpu(unsigned core_id, MemoryPort &port, MemoryArray &xregs,
+        MemoryArray &vregs);
+
+    unsigned coreId() const { return core_id_; }
+
+    /** Current program counter. */
+    uint64_t pc() const { return pc_; }
+    void setPc(uint64_t pc) { pc_ = pc; }
+
+    /** Exception level (0-3); EL3 is required for RAMINDEX. */
+    unsigned el() const { return el_; }
+    void setEl(unsigned el);
+
+    /** General-purpose register access (reads of x31 return 0). */
+    uint64_t x(unsigned idx) const;
+    void setX(unsigned idx, uint64_t value);
+
+    /** Vector register access, 64-bit halves. */
+    uint64_t v(unsigned idx, unsigned half) const;
+    void setV(unsigned idx, unsigned half, uint64_t value);
+
+    bool halted() const { return halted_; }
+    CpuFault fault() const { return fault_; }
+    uint64_t instructionsRetired() const { return retired_; }
+
+    /** SCTLR_EL1 value (cache enables). */
+    uint64_t sctlr() const { return sctlr_; }
+
+    /** Reset architectural boot state (PC, flags, halt) — a warm reboot.
+     * Registers are NOT cleared: hardware does not zero them, which is
+     * exactly the property Section 7.2 exploits. */
+    void reset(uint64_t entry_pc);
+
+    /** Execute one instruction. Returns false once halted/faulted. */
+    bool step();
+
+    /** Run at most @p max_steps instructions; returns steps executed. */
+    uint64_t run(uint64_t max_steps);
+
+  private:
+    void execute(uint32_t insn);
+    void setFlagsForSub(uint64_t a, uint64_t b);
+    bool condHolds(Cond c) const;
+    void raise(CpuFault fault);
+
+    unsigned core_id_;
+    MemoryPort &port_;
+    MemoryArray &xregs_;
+    MemoryArray &vregs_;
+
+    uint64_t pc_ = 0;
+    unsigned el_ = 3; // bare-metal entry, like a boot ROM handing off
+    uint64_t sctlr_ = 0;
+    bool flag_n_ = false, flag_z_ = false, flag_c_ = false, flag_v_ = false;
+    bool halted_ = false;
+    CpuFault fault_ = CpuFault::None;
+    uint64_t retired_ = 0;
+
+    // RAMINDEX requires DSB;ISB since the last memory operation
+    // (Section 6.1's synchronisation-barrier requirement).
+    bool dsb_done_ = false;
+    bool isb_done_ = false;
+};
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_ISA_CPU_HH

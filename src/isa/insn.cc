@@ -1,0 +1,200 @@
+#include "isa/insn.hh"
+
+#include <sstream>
+
+namespace voltboot
+{
+
+namespace
+{
+
+const char *
+condName(Cond c)
+{
+    switch (c) {
+      case Cond::Eq:
+        return "eq";
+      case Cond::Ne:
+        return "ne";
+      case Cond::Lt:
+        return "lt";
+      case Cond::Ge:
+        return "ge";
+      case Cond::Gt:
+        return "gt";
+      case Cond::Le:
+        return "le";
+    }
+    return "??";
+}
+
+const char *
+sysRegName(SysReg s)
+{
+    switch (s) {
+      case SysReg::CurrentEl:
+        return "currentel";
+      case SysReg::SctlrEl1:
+        return "sctlr_el1";
+      case SysReg::CoreId:
+        return "coreid";
+    }
+    return "?sysreg?";
+}
+
+std::string
+xname(unsigned r)
+{
+    if (r >= kZeroReg)
+        return "xzr";
+    return "x" + std::to_string(r);
+}
+
+} // namespace
+
+std::string
+disassemble(uint32_t insn)
+{
+    using namespace decode;
+    std::ostringstream os;
+    const Opcode o = op(insn);
+    switch (o) {
+      case Opcode::Nop:
+        return "nop";
+      case Opcode::Hlt:
+        return "hlt";
+      case Opcode::Movz:
+        os << "movz " << xname(rd(insn)) << ", #" << imm16(insn);
+        if (shift2(insn))
+            os << ", lsl #" << 16 * shift2(insn);
+        return os.str();
+      case Opcode::Movk:
+        os << "movk " << xname(rd(insn)) << ", #" << imm16(insn);
+        if (shift2(insn))
+            os << ", lsl #" << 16 * shift2(insn);
+        return os.str();
+      case Opcode::MovReg:
+        os << "mov " << xname(rd(insn)) << ", " << xname(rn(insn));
+        return os.str();
+      case Opcode::AddImm:
+        os << "add " << xname(rd(insn)) << ", " << xname(rn(insn)) << ", #"
+           << imm12(insn);
+        return os.str();
+      case Opcode::SubImm:
+        os << "sub " << xname(rd(insn)) << ", " << xname(rn(insn)) << ", #"
+           << imm12(insn);
+        return os.str();
+      case Opcode::AddReg:
+        os << "add " << xname(rd(insn)) << ", " << xname(rn(insn)) << ", "
+           << xname(rm(insn));
+        return os.str();
+      case Opcode::SubReg:
+        os << "sub " << xname(rd(insn)) << ", " << xname(rn(insn)) << ", "
+           << xname(rm(insn));
+        return os.str();
+      case Opcode::AndReg:
+        os << "and " << xname(rd(insn)) << ", " << xname(rn(insn)) << ", "
+           << xname(rm(insn));
+        return os.str();
+      case Opcode::OrrReg:
+        os << "orr " << xname(rd(insn)) << ", " << xname(rn(insn)) << ", "
+           << xname(rm(insn));
+        return os.str();
+      case Opcode::EorReg:
+        os << "eor " << xname(rd(insn)) << ", " << xname(rn(insn)) << ", "
+           << xname(rm(insn));
+        return os.str();
+      case Opcode::Mul:
+        os << "mul " << xname(rd(insn)) << ", " << xname(rn(insn)) << ", "
+           << xname(rm(insn));
+        return os.str();
+      case Opcode::LslImm:
+        os << "lsl " << xname(rd(insn)) << ", " << xname(rn(insn)) << ", #"
+           << imm12(insn);
+        return os.str();
+      case Opcode::LsrImm:
+        os << "lsr " << xname(rd(insn)) << ", " << xname(rn(insn)) << ", #"
+           << imm12(insn);
+        return os.str();
+      case Opcode::Ldr:
+        os << "ldr " << xname(rd(insn)) << ", [" << xname(rn(insn)) << ", #"
+           << imm12(insn) << "]";
+        return os.str();
+      case Opcode::Str:
+        os << "str " << xname(rd(insn)) << ", [" << xname(rn(insn)) << ", #"
+           << imm12(insn) << "]";
+        return os.str();
+      case Opcode::Ldrb:
+        os << "ldrb " << xname(rd(insn)) << ", [" << xname(rn(insn))
+           << ", #" << imm12(insn) << "]";
+        return os.str();
+      case Opcode::Strb:
+        os << "strb " << xname(rd(insn)) << ", [" << xname(rn(insn))
+           << ", #" << imm12(insn) << "]";
+        return os.str();
+      case Opcode::B:
+        os << "b .+" << 4 * imm19(insn);
+        return os.str();
+      case Opcode::Bl:
+        os << "bl .+" << 4 * imm19(insn);
+        return os.str();
+      case Opcode::Ret:
+        return "ret";
+      case Opcode::Cbz:
+        os << "cbz " << xname(rd(insn)) << ", .+" << 4 * imm19(insn);
+        return os.str();
+      case Opcode::Cbnz:
+        os << "cbnz " << xname(rd(insn)) << ", .+" << 4 * imm19(insn);
+        return os.str();
+      case Opcode::BCond:
+        os << "b." << condName(cond(insn)) << " .+" << 4 * imm19(insn);
+        return os.str();
+      case Opcode::CmpReg:
+        os << "cmp " << xname(rn(insn)) << ", " << xname(rm(insn));
+        return os.str();
+      case Opcode::CmpImm:
+        os << "cmp " << xname(rn(insn)) << ", #" << imm12(insn);
+        return os.str();
+      case Opcode::SubsReg:
+        os << "subs " << xname(rd(insn)) << ", " << xname(rn(insn)) << ", "
+           << xname(rm(insn));
+        return os.str();
+      case Opcode::DcZva:
+        os << "dc zva, " << xname(rn(insn));
+        return os.str();
+      case Opcode::DcCivac:
+        os << "dc civac, " << xname(rn(insn));
+        return os.str();
+      case Opcode::IcIallu:
+        return "ic iallu";
+      case Opcode::Dsb:
+        return "dsb sy";
+      case Opcode::Isb:
+        return "isb";
+      case Opcode::RamIndex:
+        os << "ramindex " << xname(rd(insn)) << ", " << xname(rn(insn));
+        return os.str();
+      case Opcode::Mrs:
+        os << "mrs " << xname(rd(insn)) << ", " << sysRegName(sysreg(insn));
+        return os.str();
+      case Opcode::Msr:
+        os << "msr " << sysRegName(sysreg(insn)) << ", "
+           << xname(rn(insn));
+        return os.str();
+      case Opcode::VDup:
+        os << "vdup v" << rd(insn) << ", #" << imm8(insn);
+        return os.str();
+      case Opcode::VIns:
+        os << "vins v" << rd(insn) << "[" << half(insn) << "], "
+           << xname(rn(insn));
+        return os.str();
+      case Opcode::VRead:
+        os << "vread " << xname(rd(insn)) << ", v" << rn(insn) << "["
+           << half(insn) << "]";
+        return os.str();
+    }
+    os << ".word 0x" << std::hex << insn;
+    return os.str();
+}
+
+} // namespace voltboot

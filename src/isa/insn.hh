@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Instruction definitions for the vb64 ISA — a compact aarch64-flavoured
+ * teaching subset.
+ *
+ * The paper's victims are bare-metal aarch64 programs; what the attack
+ * needs from an ISA is (a) instructions that occupy the i-cache as bytes
+ * an attacker can grep for, (b) loads/stores that populate the d-cache,
+ * (c) vector registers big enough to hold AES key schedules, and (d) the
+ * system/cache-maintenance surface the paper discusses: DC ZVA line
+ * zeroing, clean/invalidate ops that do NOT erase data RAM, barrier
+ * instructions, and the RAMINDEX debug read gated to EL3.
+ *
+ * vb64 keeps aarch64's register model (x0-x30 + xzr, v0-v31, NZCV, EL0-3)
+ * and assembly syntax but uses its own fixed 32-bit encoding: opcode in
+ * the top 8 bits, fields packed below. The encodings are deterministic,
+ * so ground-truth machine-code comparison against cache dumps works
+ * exactly as in the paper.
+ */
+
+#ifndef VOLTBOOT_ISA_INSN_HH
+#define VOLTBOOT_ISA_INSN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace voltboot
+{
+
+/** vb64 opcodes (top 8 bits of the instruction word). */
+enum class Opcode : uint8_t
+{
+    // 0x00 is deliberately NOT a valid opcode: zero-filled memory must
+    // fault rather than execute as a NOP slide, and a NOP-filled cache
+    // line must be visibly nonzero in bit images (real A64 encodes NOP
+    // as 0xD503201F for similar reasons).
+    Nop = 0x3f,      ///< nop
+    Hlt = 0x01,      ///< hlt — stop the core
+    Movz = 0x02,     ///< movz xd, #imm16 [, lsl #0/16/32/48]
+    Movk = 0x03,     ///< movk xd, #imm16 [, lsl #...]
+    MovReg = 0x04,   ///< mov xd, xn
+    AddImm = 0x05,   ///< add xd, xn, #imm12
+    SubImm = 0x06,   ///< sub xd, xn, #imm12
+    AddReg = 0x07,   ///< add xd, xn, xm
+    SubReg = 0x08,   ///< sub xd, xn, xm
+    AndReg = 0x09,   ///< and xd, xn, xm
+    OrrReg = 0x0a,   ///< orr xd, xn, xm
+    EorReg = 0x0b,   ///< eor xd, xn, xm
+    LslImm = 0x0c,   ///< lsl xd, xn, #imm6
+    LsrImm = 0x0d,   ///< lsr xd, xn, #imm6
+    Ldr = 0x0e,      ///< ldr xd, [xn, #imm12]   (byte offset)
+    Str = 0x0f,      ///< str xd, [xn, #imm12]
+    Ldrb = 0x10,     ///< ldrb xd, [xn, #imm12]
+    Strb = 0x11,     ///< strb xd, [xn, #imm12]
+    B = 0x12,        ///< b label                (word offset, imm19)
+    Cbz = 0x13,      ///< cbz xt, label
+    Cbnz = 0x14,     ///< cbnz xt, label
+    BCond = 0x15,    ///< b.eq/.ne/.lt/.ge/.gt/.le label
+    CmpReg = 0x16,   ///< cmp xn, xm
+    CmpImm = 0x17,   ///< cmp xn, #imm12
+    SubsReg = 0x18,  ///< subs xd, xn, xm
+    DcZva = 0x19,    ///< dc zva, xn — zero the cache line at [xn]
+    DcCivac = 0x1a,  ///< dc civac, xn — clean+invalidate line at [xn]
+    IcIallu = 0x1b,  ///< ic iallu — invalidate all i-cache (tags only!)
+    Dsb = 0x1c,      ///< dsb sy
+    Isb = 0x1d,      ///< isb
+    RamIndex = 0x1e, ///< ramindex xd, xn — CP15-style debug RAM read (EL3)
+    Mrs = 0x1f,      ///< mrs xd, <sysreg>
+    Msr = 0x20,      ///< msr <sysreg>, xn
+    VDup = 0x21,     ///< vdup vd, #imm8 — splat a byte across 128 bits
+    VIns = 0x22,     ///< vins vd[half], xn — insert a 64-bit lane
+    VRead = 0x23,    ///< vread xd, vn[half] — extract a 64-bit lane
+    Bl = 0x24,       ///< bl label (link in x30)
+    Ret = 0x25,      ///< ret (branch to x30)
+    Mul = 0x26,      ///< mul xd, xn, xm
+};
+
+/** Condition codes for BCond (NZCV-based, signed compares). */
+enum class Cond : uint8_t
+{
+    Eq = 0,
+    Ne = 1,
+    Lt = 2,
+    Ge = 3,
+    Gt = 4,
+    Le = 5,
+};
+
+/** System registers reachable via mrs/msr. */
+enum class SysReg : uint8_t
+{
+    CurrentEl = 0, ///< Read-only: current exception level in bits [3:2].
+    SctlrEl1 = 1,  ///< Bit 2 = C (d-cache enable), bit 12 = I (i-cache).
+    CoreId = 2,    ///< Read-only: which core this is (MPIDR-flavoured).
+};
+
+/** SCTLR bit positions (matching aarch64). */
+constexpr uint64_t kSctlrC = 1ull << 2;
+constexpr uint64_t kSctlrI = 1ull << 12;
+
+/** Register index used for xzr (reads 0, writes discarded). */
+constexpr unsigned kZeroReg = 31;
+
+/** Field packing helpers. The encoding is fixed-width and lossless. */
+namespace encode
+{
+
+constexpr uint32_t
+op(Opcode o)
+{
+    return static_cast<uint32_t>(o) << 24;
+}
+
+/** rd in [23:19], rn in [18:14], rm in [13:9]. */
+constexpr uint32_t rd(unsigned r) { return (r & 0x1f) << 19; }
+constexpr uint32_t rn(unsigned r) { return (r & 0x1f) << 14; }
+constexpr uint32_t rm(unsigned r) { return (r & 0x1f) << 9; }
+/** imm12 occupies [11:0] (never collides with rd/rn). */
+constexpr uint32_t imm12(uint32_t v) { return v & 0xfff; }
+/** imm16 in [18:3], shift selector in [2:1] — used by movz/movk. */
+constexpr uint32_t imm16(uint32_t v) { return (v & 0xffff) << 3; }
+constexpr uint32_t shift2(uint32_t s) { return (s & 0x3) << 1; }
+/** Signed word offset for branches, imm19 in [18:0]. */
+constexpr uint32_t
+imm19(int32_t v)
+{
+    return static_cast<uint32_t>(v) & 0x7ffff;
+}
+/** Condition code in [23:20] for b.cond. */
+constexpr uint32_t cond(Cond c) { return (static_cast<uint32_t>(c) & 0xf) << 20; }
+/** Vector half selector bit [0] for vins/vread. */
+constexpr uint32_t half(unsigned h) { return h & 0x1; }
+/** imm8 in [13:6] for vdup. */
+constexpr uint32_t imm8(uint32_t v) { return (v & 0xff) << 6; }
+/** sysreg id in [7:0] for mrs/msr. */
+constexpr uint32_t sysreg(SysReg s) { return static_cast<uint32_t>(s); }
+
+} // namespace encode
+
+namespace decode
+{
+
+constexpr Opcode
+op(uint32_t insn)
+{
+    return static_cast<Opcode>(insn >> 24);
+}
+
+constexpr unsigned rd(uint32_t i) { return (i >> 19) & 0x1f; }
+constexpr unsigned rn(uint32_t i) { return (i >> 14) & 0x1f; }
+constexpr unsigned rm(uint32_t i) { return (i >> 9) & 0x1f; }
+constexpr uint32_t imm12(uint32_t i) { return i & 0xfff; }
+constexpr uint32_t imm16(uint32_t i) { return (i >> 3) & 0xffff; }
+constexpr uint32_t shift2(uint32_t i) { return (i >> 1) & 0x3; }
+
+constexpr int32_t
+imm19(uint32_t i)
+{
+    uint32_t v = i & 0x7ffff;
+    if (v & 0x40000)
+        v |= 0xfff80000; // sign-extend
+    return static_cast<int32_t>(v);
+}
+
+constexpr Cond cond(uint32_t i) { return static_cast<Cond>((i >> 20) & 0xf); }
+constexpr unsigned half(uint32_t i) { return i & 0x1; }
+constexpr uint32_t imm8(uint32_t i) { return (i >> 6) & 0xff; }
+constexpr SysReg sysreg(uint32_t i) { return static_cast<SysReg>(i & 0xff); }
+
+} // namespace decode
+
+/** Human-readable mnemonic for one encoded instruction. */
+std::string disassemble(uint32_t insn);
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_ISA_INSN_HH

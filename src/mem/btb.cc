@@ -1,0 +1,91 @@
+#include "mem/btb.hh"
+
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+
+namespace
+{
+
+constexpr uint64_t kValid = 1ull << 0;
+
+} // namespace
+
+Btb::Btb(std::string name, size_t entries, MemoryArray &storage)
+    : name_(std::move(name)), entries_(entries), storage_(storage)
+{
+    if (entries_ == 0 || (entries_ & (entries_ - 1)))
+        fatal("Btb ", name_, ": entry count must be a power of two");
+    if (storage_.sizeBytes() < entries_ * 16)
+        fatal("Btb ", name_, ": backing store too small");
+}
+
+void
+Btb::recordBranch(uint64_t pc, uint64_t target)
+{
+    const size_t i = index(pc);
+    // Tag word keeps the full PC (shifted, low bit reused as valid).
+    storage_.writeWord64(i * 16, (pc << 1) | kValid);
+    storage_.writeWord64(i * 16 + 8, target);
+}
+
+uint64_t
+Btb::predict(uint64_t pc) const
+{
+    const size_t i = index(pc);
+    const uint64_t w0 = storage_.readWord64(i * 16);
+    if (!(w0 & kValid) || (w0 >> 1) != pc)
+        return 0;
+    return storage_.readWord64(i * 16 + 8);
+}
+
+void
+Btb::invalidateAll()
+{
+    for (size_t i = 0; i < entries_; ++i)
+        storage_.writeWord64(i * 16,
+                             storage_.readWord64(i * 16) & ~kValid);
+}
+
+uint64_t
+Btb::debugReadWord(size_t index, size_t word) const
+{
+    if (index >= entries_ || word > 1)
+        panic("Btb ", name_, ": debug read out of range");
+    return storage_.readWord64(index * 16 + word * 8);
+}
+
+MemoryImage
+Btb::dumpAll() const
+{
+    std::vector<uint8_t> out;
+    out.reserve(entries_ * 16);
+    for (size_t i = 0; i < entries_; ++i) {
+        for (size_t word = 0; word < 2; ++word) {
+            const uint64_t v = debugReadWord(i, word);
+            for (int b = 0; b < 8; ++b)
+                out.push_back(static_cast<uint8_t>(v >> (8 * b)));
+        }
+    }
+    return MemoryImage(std::move(out));
+}
+
+std::vector<BtbEntry>
+Btb::parseDump(const MemoryImage &dump)
+{
+    std::vector<BtbEntry> out;
+    const auto &bytes = dump.bytes();
+    for (size_t off = 0; off + 16 <= bytes.size(); off += 16) {
+        uint64_t w0 = 0, w1 = 0;
+        for (int b = 0; b < 8; ++b) {
+            w0 |= static_cast<uint64_t>(bytes[off + b]) << (8 * b);
+            w1 |= static_cast<uint64_t>(bytes[off + 8 + b]) << (8 * b);
+        }
+        if (w0 & kValid)
+            out.push_back(BtbEntry{w0 >> 1, w1, true});
+    }
+    return out;
+}
+
+} // namespace voltboot

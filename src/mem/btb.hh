@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Branch target buffer model.
+ *
+ * Another of the RAMINDEX-reachable internal SRAMs (Section 2.1): the
+ * BTB caches (branch PC -> target) pairs. Its contents survive a
+ * probe-held power cycle like every other core-domain SRAM, so a dump
+ * reveals the victim's control-flow graph — where its hot branches lived
+ * and where they went — even after the code itself is gone from the
+ * i-cache.
+ */
+
+#ifndef VOLTBOOT_MEM_BTB_HH
+#define VOLTBOOT_MEM_BTB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sram/memory_array.hh"
+#include "sram/memory_image.hh"
+
+namespace voltboot
+{
+
+/** One decoded BTB entry. */
+struct BtbEntry
+{
+    uint64_t branch_pc = 0;
+    uint64_t target = 0;
+    bool valid = false;
+};
+
+/**
+ * Direct-mapped branch target buffer with SRAM-backed storage (16 bytes
+ * per entry: tagged PC word + target word).
+ */
+class Btb
+{
+  public:
+    Btb(std::string name, size_t entries, MemoryArray &storage);
+
+    const std::string &name() const { return name_; }
+    size_t entryCount() const { return entries_; }
+
+    /** Record a taken branch. */
+    void recordBranch(uint64_t pc, uint64_t target);
+
+    /** Predicted target for @p pc; 0 if absent. */
+    uint64_t predict(uint64_t pc) const;
+
+    /** Drop all valid bits (entry RAM untouched, as with the caches). */
+    void invalidateAll();
+
+    /** @name Debug / attack interface */
+    ///@{
+    uint64_t debugReadWord(size_t index, size_t word) const;
+    MemoryImage dumpAll() const;
+    static std::vector<BtbEntry> parseDump(const MemoryImage &dump);
+    ///@}
+
+  private:
+    size_t index(uint64_t pc) const { return (pc >> 2) & (entries_ - 1); }
+
+    std::string name_;
+    size_t entries_;
+    MemoryArray &storage_;
+};
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_MEM_BTB_HH

@@ -1,0 +1,256 @@
+#include "mem/btb.hh"
+#include "mem/memory_system.hh"
+#include "mem/tlb.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+
+void
+MemoryRegion::readLine(uint64_t line_addr, std::span<uint8_t> out)
+{
+    if (!contains(line_addr) || !contains(line_addr + out.size() - 1))
+        panic("MemoryRegion: line read outside region at ", line_addr);
+    array_.read(line_addr - base_, out);
+}
+
+void
+MemoryRegion::writeLine(uint64_t line_addr, std::span<const uint8_t> data)
+{
+    if (!contains(line_addr) || !contains(line_addr + data.size() - 1))
+        panic("MemoryRegion: line write outside region at ", line_addr);
+    array_.write(line_addr - base_, data);
+}
+
+uint64_t
+MemoryRegion::read64(uint64_t addr) const
+{
+    if (!contains(addr) || !contains(addr + 7))
+        panic("MemoryRegion: read64 outside region at ", addr);
+    return array_.readWord64(addr - base_);
+}
+
+void
+MemoryRegion::write64(uint64_t addr, uint64_t value)
+{
+    if (!contains(addr) || !contains(addr + 7))
+        panic("MemoryRegion: write64 outside region at ", addr);
+    array_.writeWord64(addr - base_, value);
+}
+
+uint8_t
+MemoryRegion::read8(uint64_t addr) const
+{
+    if (!contains(addr))
+        panic("MemoryRegion: read8 outside region at ", addr);
+    return array_.readByte(addr - base_);
+}
+
+void
+MemoryRegion::write8(uint64_t addr, uint8_t value)
+{
+    if (!contains(addr))
+        panic("MemoryRegion: write8 outside region at ", addr);
+    array_.writeByte(addr - base_, value);
+}
+
+void
+CacheBacking::readLine(uint64_t line_addr, std::span<uint8_t> out)
+{
+    for (size_t i = 0; i < out.size(); i += 8) {
+        const uint64_t v = cache_.read64(line_addr + i, /*secure=*/true);
+        std::memcpy(out.data() + i, &v, 8);
+    }
+}
+
+void
+CacheBacking::writeLine(uint64_t line_addr, std::span<const uint8_t> data)
+{
+    for (size_t i = 0; i < data.size(); i += 8) {
+        uint64_t v;
+        std::memcpy(&v, data.data() + i, 8);
+        cache_.write64(line_addr + i, v, /*secure=*/true);
+    }
+}
+
+RamIndexDescriptor
+RamIndexDescriptor::decode(uint64_t value)
+{
+    RamIndexDescriptor d;
+    d.ram_id = (value >> 56) & 0xf;
+    d.way = (value >> 48) & 0xff;
+    d.set = (value >> 8) & 0xffffff;
+    d.word = value & 0xff;
+    return d;
+}
+
+uint64_t
+RamIndexDescriptor::encode() const
+{
+    return (static_cast<uint64_t>(ram_id & 0xf) << 56) |
+           (static_cast<uint64_t>(way & 0xff) << 48) |
+           (static_cast<uint64_t>(set & 0xffffff) << 8) |
+           static_cast<uint64_t>(word & 0xff);
+}
+
+void
+MemorySystem::setMainMemory(MemoryArray &dram, uint64_t base)
+{
+    dram_.emplace(dram, base);
+}
+
+void
+MemorySystem::setIram(MemoryArray &iram, uint64_t base)
+{
+    iram_.emplace(iram, base);
+}
+
+void
+MemorySystem::setL2(std::unique_ptr<Cache> l2)
+{
+    l2_ = std::move(l2);
+    l2_backing_ = std::make_unique<CacheBacking>(*l2_);
+}
+
+size_t
+MemorySystem::addCore(std::unique_ptr<Cache> l1i, std::unique_ptr<Cache> l1d)
+{
+    cores_.push_back(CoreCaches{std::move(l1i), std::move(l1d)});
+    return cores_.size() - 1;
+}
+
+LineBacking *
+MemorySystem::l1Backing()
+{
+    if (l2_backing_)
+        return l2_backing_.get();
+    if (dram_)
+        return &*dram_;
+    return nullptr;
+}
+
+uint32_t
+CorePort::fetch32(uint64_t addr)
+{
+    if (addr % 4)
+        panic("CorePort: misaligned fetch at ", addr);
+    if (sys_.isIramAddr(addr)) {
+        // iRAM fetches bypass the cache hierarchy.
+        const uint64_t word = sys_.iram()->read64(addr & ~7ull);
+        return static_cast<uint32_t>(word >> (8 * (addr & 4)));
+    }
+    Cache &icache = sys_.l1i(core_);
+    const uint64_t word = icache.read64(addr & ~7ull, secure_);
+    return static_cast<uint32_t>(word >> (8 * (addr & 4)));
+}
+
+uint64_t
+CorePort::read64(uint64_t addr)
+{
+    if (sys_.isIramAddr(addr))
+        return sys_.iram()->read64(addr);
+    return sys_.l1d(core_).read64(addr, secure_);
+}
+
+void
+CorePort::write64(uint64_t addr, uint64_t value)
+{
+    if (sys_.isIramAddr(addr)) {
+        sys_.iram()->write64(addr, value);
+        return;
+    }
+    sys_.l1d(core_).write64(addr, value, secure_);
+}
+
+uint8_t
+CorePort::read8(uint64_t addr)
+{
+    if (sys_.isIramAddr(addr))
+        return sys_.iram()->read8(addr);
+    return sys_.l1d(core_).read8(addr, secure_);
+}
+
+void
+CorePort::write8(uint64_t addr, uint8_t value)
+{
+    if (sys_.isIramAddr(addr)) {
+        sys_.iram()->write8(addr, value);
+        return;
+    }
+    sys_.l1d(core_).write8(addr, value, secure_);
+}
+
+void
+CorePort::zeroCacheLine(uint64_t addr)
+{
+    sys_.l1d(core_).zeroLine(addr);
+}
+
+void
+CorePort::cleanInvalidateLine(uint64_t addr)
+{
+    sys_.l1d(core_).cleanInvalidate(addr);
+}
+
+void
+CorePort::invalidateAllICache()
+{
+    sys_.l1i(core_).invalidateAll();
+}
+
+uint64_t
+CorePort::ramIndexRead(uint64_t descriptor)
+{
+    const RamIndexDescriptor d = RamIndexDescriptor::decode(descriptor);
+    const bool tz = sys_.tzEnforced() && !secure_;
+    switch (d.ram_id) {
+      case RamIndexDescriptor::kL1DData:
+        return sys_.l1d(core_).debugReadDataWord(d.way, d.set, d.word, tz);
+      case RamIndexDescriptor::kL1DTag:
+        return sys_.l1d(core_).debugReadTagEntry(d.way, d.set);
+      case RamIndexDescriptor::kL1IData:
+        return sys_.l1i(core_).debugReadDataWord(d.way, d.set, d.word, tz);
+      case RamIndexDescriptor::kL1ITag:
+        return sys_.l1i(core_).debugReadTagEntry(d.way, d.set);
+      case RamIndexDescriptor::kDTlb: {
+        Tlb *tlb = sys_.dtlb(core_);
+        if (!tlb)
+            panic("CorePort: RAMINDEX TLB read on a core without a TLB");
+        return tlb->debugReadWord(d.way, d.set, d.word);
+      }
+      case RamIndexDescriptor::kBtb: {
+        Btb *btb = sys_.btb(core_);
+        if (!btb)
+            panic("CorePort: RAMINDEX BTB read on a core without a BTB");
+        return btb->debugReadWord(d.set, d.word);
+      }
+      default:
+        panic("CorePort: RAMINDEX with unknown RAM id ", d.ram_id);
+    }
+}
+
+void
+CorePort::branchTaken(uint64_t pc, uint64_t target)
+{
+    if (Btb *btb = sys_.btb(core_))
+        btb->recordBranch(pc, target);
+}
+
+void
+MemorySystem::setCoreDebugRams(size_t core, Tlb *dtlb, Btb *btb)
+{
+    cores_.at(core).dtlb = dtlb;
+    cores_.at(core).btb = btb;
+}
+
+void
+CorePort::setCacheEnables(bool dcache_on, bool icache_on)
+{
+    sys_.l1d(core_).setEnabled(dcache_on);
+    sys_.l1i(core_).setEnabled(icache_on);
+}
+
+} // namespace voltboot

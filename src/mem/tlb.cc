@@ -1,0 +1,234 @@
+#include "mem/tlb.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+
+namespace
+{
+
+constexpr uint64_t kEntryValid = 1ull << 0;
+constexpr uint64_t kEntryWritable = 1ull << 1;
+
+bool
+isPow2(size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+PageTable::PageTable(MemoryRegion &memory, uint64_t root,
+                     uint64_t alloc_base)
+    : memory_(memory), root_(root), alloc_base_(alloc_base)
+{
+    if (root % kPageBytes || alloc_base % kPageBytes)
+        fatal("PageTable: root and allocator base must be page-aligned");
+    // Zero the root table so unmapped slots read invalid.
+    for (uint64_t off = 0; off < kEntries * 8; off += 8)
+        memory_.write64(root_ + off, 0);
+}
+
+uint64_t
+PageTable::l1EntryAddr(uint64_t vaddr) const
+{
+    const uint64_t vpn = vaddr / kPageBytes;
+    const uint64_t l1_index = (vpn >> 9) & (kEntries - 1);
+    return root_ + l1_index * 8;
+}
+
+void
+PageTable::map(uint64_t vaddr, uint64_t paddr, bool writable)
+{
+    const uint64_t l1_addr = l1EntryAddr(vaddr);
+    uint64_t l1_entry = memory_.read64(l1_addr);
+    uint64_t l2_base;
+    if (!(l1_entry & kEntryValid)) {
+        // Allocate and zero a fresh L2 table.
+        l2_base = alloc_base_ + next_table_ * kPageBytes;
+        ++next_table_;
+        for (uint64_t off = 0; off < kEntries * 8; off += 8)
+            memory_.write64(l2_base + off, 0);
+        memory_.write64(l1_addr, l2_base | kEntryValid);
+    } else {
+        l2_base = l1_entry & ~(kPageBytes - 1);
+    }
+
+    const uint64_t vpn = vaddr / kPageBytes;
+    const uint64_t l2_index = vpn & (kEntries - 1);
+    uint64_t entry = (paddr & ~(kPageBytes - 1)) | kEntryValid;
+    if (writable)
+        entry |= kEntryWritable;
+    memory_.write64(l2_base + l2_index * 8, entry);
+}
+
+std::optional<TlbEntry>
+PageTable::walk(uint64_t vaddr) const
+{
+    const uint64_t l1_entry = memory_.read64(l1EntryAddr(vaddr));
+    if (!(l1_entry & kEntryValid))
+        return std::nullopt;
+    const uint64_t l2_base = l1_entry & ~(kPageBytes - 1);
+    const uint64_t vpn = vaddr / kPageBytes;
+    const uint64_t l2_index = vpn & (kEntries - 1);
+    const uint64_t entry = memory_.read64(l2_base + l2_index * 8);
+    if (!(entry & kEntryValid))
+        return std::nullopt;
+    TlbEntry out;
+    out.vpn = vpn;
+    out.ppn = (entry & ~(kPageBytes - 1)) / kPageBytes;
+    out.writable = entry & kEntryWritable;
+    out.valid = true;
+    return out;
+}
+
+Tlb::Tlb(std::string name, size_t entries, size_t ways,
+         MemoryArray &storage)
+    : name_(std::move(name)), entries_(entries), ways_(ways),
+      storage_(storage), fill_rr_(entries / std::max<size_t>(ways, 1), 0)
+{
+    if (ways_ == 0 || entries_ % ways_ || !isPow2(entries_ / ways_))
+        fatal("Tlb ", name_, ": entries/ways must give power-of-two sets");
+    if (storage_.sizeBytes() < entries_ * 16)
+        fatal("Tlb ", name_, ": backing store too small");
+}
+
+size_t
+Tlb::entryOffset(size_t way, size_t set) const
+{
+    // Way-major, like the cache data RAM layout.
+    return (way * sets() + set) * 16;
+}
+
+std::optional<TlbEntry>
+Tlb::lookup(uint64_t vaddr, uint16_t asid)
+{
+    const uint64_t vpn = vaddr / PageTable::kPageBytes;
+    const size_t set = vpn & (sets() - 1);
+    for (size_t way = 0; way < ways_; ++way) {
+        const size_t off = entryOffset(way, set);
+        const uint64_t w0 = storage_.readWord64(off);
+        if (!(w0 & kEntryValid))
+            continue;
+        const TlbEntry e = decodeEntry(w0, storage_.readWord64(off + 8));
+        if (e.vpn == vpn && e.asid == asid) {
+            ++hits_;
+            return e;
+        }
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+void
+Tlb::insert(uint64_t vaddr, const TlbEntry &entry)
+{
+    const uint64_t vpn = vaddr / PageTable::kPageBytes;
+    const size_t set = vpn & (sets() - 1);
+    // Prefer an invalid way, else round-robin.
+    size_t victim = fill_rr_[set] % ways_;
+    for (size_t way = 0; way < ways_; ++way) {
+        if (!(storage_.readWord64(entryOffset(way, set)) & kEntryValid)) {
+            victim = way;
+            break;
+        }
+    }
+    fill_rr_[set] = static_cast<uint32_t>(victim + 1);
+
+    uint64_t w0 = kEntryValid;
+    if (entry.writable)
+        w0 |= kEntryWritable;
+    w0 |= static_cast<uint64_t>(entry.asid) << 2;
+    w0 |= vpn << 18;
+    const size_t off = entryOffset(victim, set);
+    storage_.writeWord64(off, w0);
+    storage_.writeWord64(off + 8, entry.ppn);
+}
+
+void
+Tlb::invalidateAll()
+{
+    for (size_t way = 0; way < ways_; ++way) {
+        for (size_t set = 0; set < sets(); ++set) {
+            const size_t off = entryOffset(way, set);
+            storage_.writeWord64(off,
+                                 storage_.readWord64(off) & ~kEntryValid);
+        }
+    }
+}
+
+uint64_t
+Tlb::debugReadWord(size_t way, size_t set, size_t word) const
+{
+    if (way >= ways_ || set >= sets() || word > 1)
+        panic("Tlb ", name_, ": debug read out of range");
+    return storage_.readWord64(entryOffset(way, set) + word * 8);
+}
+
+TlbEntry
+Tlb::decodeEntry(uint64_t word0, uint64_t word1)
+{
+    TlbEntry e;
+    e.valid = word0 & kEntryValid;
+    e.writable = word0 & kEntryWritable;
+    e.asid = static_cast<uint16_t>((word0 >> 2) & 0xffff);
+    e.vpn = word0 >> 18;
+    e.ppn = word1;
+    return e;
+}
+
+MemoryImage
+Tlb::dumpAll() const
+{
+    std::vector<uint8_t> out;
+    out.reserve(entries_ * 16);
+    for (size_t way = 0; way < ways_; ++way) {
+        for (size_t set = 0; set < sets(); ++set) {
+            for (size_t word = 0; word < 2; ++word) {
+                const uint64_t v = debugReadWord(way, set, word);
+                for (int b = 0; b < 8; ++b)
+                    out.push_back(static_cast<uint8_t>(v >> (8 * b)));
+            }
+        }
+    }
+    return MemoryImage(std::move(out));
+}
+
+std::vector<TlbEntry>
+Tlb::parseDump(const MemoryImage &dump)
+{
+    std::vector<TlbEntry> out;
+    const auto &bytes = dump.bytes();
+    for (size_t off = 0; off + 16 <= bytes.size(); off += 16) {
+        uint64_t w0 = 0, w1 = 0;
+        for (int b = 0; b < 8; ++b) {
+            w0 |= static_cast<uint64_t>(bytes[off + b]) << (8 * b);
+            w1 |= static_cast<uint64_t>(bytes[off + 8 + b]) << (8 * b);
+        }
+        const TlbEntry e = decodeEntry(w0, w1);
+        if (e.valid)
+            out.push_back(e);
+    }
+    return out;
+}
+
+std::optional<uint64_t>
+Mmu::translate(uint64_t vaddr)
+{
+    if (!enabled_)
+        return vaddr;
+    const uint64_t offset = vaddr % PageTable::kPageBytes;
+    if (auto hit = tlb_.lookup(vaddr, asid_))
+        return hit->ppn * PageTable::kPageBytes + offset;
+    auto walked = table_.walk(vaddr);
+    if (!walked)
+        return std::nullopt;
+    walked->asid = asid_;
+    tlb_.insert(vaddr, *walked);
+    return walked->ppn * PageTable::kPageBytes + offset;
+}
+
+} // namespace voltboot

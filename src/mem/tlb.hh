@@ -1,0 +1,180 @@
+/**
+ * @file
+ * TLB and page-table models.
+ *
+ * The paper notes (Section 2.1) that a Cortex-A72 exposes *fifteen*
+ * internal RAMs through the CP15 RAMINDEX interface — not just the cache
+ * data/tag RAMs but TLBs and branch predictors too. Those structures are
+ * SRAM in the core power domain, so Volt Boot retains them across power
+ * cycles like everything else; dumping a TLB leaks the victim's
+ * address-space layout (which virtual pages were hot, and where they
+ * mapped) even when the cached *data* has been evicted.
+ *
+ * The model: a set-associative TLB whose entry storage is a MemoryArray
+ * (attach it to the core domain and it rides through probed power
+ * cycles), filled by walks of a two-level page table that lives in
+ * simulated DRAM.
+ */
+
+#ifndef VOLTBOOT_MEM_TLB_HH
+#define VOLTBOOT_MEM_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/memory_system.hh"
+#include "sram/memory_array.hh"
+#include "sram/memory_image.hh"
+
+namespace voltboot
+{
+
+/** Architectural contents of one TLB entry. */
+struct TlbEntry
+{
+    uint64_t vpn = 0;  ///< Virtual page number.
+    uint64_t ppn = 0;  ///< Physical page number.
+    uint16_t asid = 0; ///< Address-space id.
+    bool writable = false;
+    bool valid = false;
+};
+
+/**
+ * A two-level page table in simulated memory (4 KB pages, 512-entry
+ * levels — a simplified aarch64 stage-1 with a 30-bit VA space).
+ *
+ * Entry format (8 bytes): [0] valid, [1] writable, [63:12] target page
+ * base address.
+ */
+class PageTable
+{
+  public:
+    static constexpr uint64_t kPageBytes = 4096;
+    static constexpr uint64_t kEntries = 512;
+
+    /**
+     * @param memory Region the tables live in.
+     * @param root   Physical address of the root (L1) table; one page.
+     * @param alloc_base Physical bump-allocator start for L2 tables.
+     */
+    PageTable(MemoryRegion &memory, uint64_t root, uint64_t alloc_base);
+
+    uint64_t root() const { return root_; }
+
+    /** Map virtual page @p vaddr's page to physical @p paddr's page. */
+    void map(uint64_t vaddr, uint64_t paddr, bool writable);
+
+    /**
+     * Walk the table for @p vaddr. Returns the entry (without asid) or
+     * nullopt on a translation fault. Each walk costs two memory reads,
+     * like hardware.
+     */
+    std::optional<TlbEntry> walk(uint64_t vaddr) const;
+
+    /** Number of L2 tables allocated so far (diagnostics). */
+    size_t tablesAllocated() const { return next_table_; }
+
+  private:
+    uint64_t l1EntryAddr(uint64_t vaddr) const;
+
+    MemoryRegion &memory_;
+    uint64_t root_;
+    uint64_t alloc_base_;
+    size_t next_table_ = 0;
+};
+
+/**
+ * Set-associative TLB with SRAM-backed entry storage.
+ *
+ * Entry layout in the backing array (16 bytes):
+ *   word0: [0] valid, [1] writable, [17:2] asid, [63:18] vpn
+ *   word1: ppn
+ *
+ * Like the caches, invalidation only clears valid bits; the debug
+ * interface reads raw entry RAM regardless.
+ */
+class Tlb
+{
+  public:
+    /**
+     * @param name    e.g. "core0.DTLB".
+     * @param entries Total entry count.
+     * @param ways    Associativity.
+     * @param storage Backing SRAM (>= entries * 16 bytes).
+     */
+    Tlb(std::string name, size_t entries, size_t ways,
+        MemoryArray &storage);
+
+    const std::string &name() const { return name_; }
+    size_t entryCount() const { return entries_; }
+    size_t ways() const { return ways_; }
+    size_t sets() const { return entries_ / ways_; }
+
+    /** Look up @p vaddr for @p asid; nullopt on miss. */
+    std::optional<TlbEntry> lookup(uint64_t vaddr, uint16_t asid);
+
+    /** Install a translation (evicting round-robin within the set). */
+    void insert(uint64_t vaddr, const TlbEntry &entry);
+
+    /** Invalidate everything (valid bits only — entry RAM untouched). */
+    void invalidateAll();
+
+    /** Hits/misses since construction. */
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+    /** @name Debug / attack interface */
+    ///@{
+    /** Raw 64-bit word of entry RAM: (way, set, word 0|1). */
+    uint64_t debugReadWord(size_t way, size_t set, size_t word) const;
+    /** Decode a raw entry pair into architectural form. */
+    static TlbEntry decodeEntry(uint64_t word0, uint64_t word1);
+    /** Dump the whole entry RAM (way-major). */
+    MemoryImage dumpAll() const;
+    /** Parse every (valid-looking) entry out of a raw dump. */
+    static std::vector<TlbEntry> parseDump(const MemoryImage &dump);
+    ///@}
+
+  private:
+    size_t entryOffset(size_t way, size_t set) const;
+
+    std::string name_;
+    size_t entries_;
+    size_t ways_;
+    MemoryArray &storage_;
+    std::vector<uint32_t> fill_rr_; ///< Round-robin pointer per set.
+    uint64_t hits_ = 0, misses_ = 0;
+};
+
+/**
+ * Per-core MMU: translation through the TLB with page-table walks on
+ * miss. Disabled by default (bare-metal identity addressing).
+ */
+class Mmu
+{
+  public:
+    Mmu(Tlb &tlb, PageTable &table) : tlb_(tlb), table_(table) {}
+
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+    uint16_t asid() const { return asid_; }
+    void setAsid(uint16_t asid) { asid_ = asid; }
+
+    /**
+     * Translate @p vaddr; identity when disabled. Returns nullopt on a
+     * translation fault.
+     */
+    std::optional<uint64_t> translate(uint64_t vaddr);
+
+  private:
+    Tlb &tlb_;
+    PageTable &table_;
+    bool enabled_ = false;
+    uint16_t asid_ = 0;
+};
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_MEM_TLB_HH

@@ -1,0 +1,139 @@
+#include "os/workloads.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+namespace workloads
+{
+
+std::string
+loadImm64(const std::string &reg, uint64_t value)
+{
+    std::ostringstream os;
+    os << "    movz " << reg << ", #" << (value & 0xffff) << "\n";
+    for (int part = 1; part < 4; ++part) {
+        const uint64_t chunk = (value >> (16 * part)) & 0xffff;
+        if (chunk)
+            os << "    movk " << reg << ", #" << chunk << ", lsl #"
+               << 16 * part << "\n";
+    }
+    return os.str();
+}
+
+std::string
+nopFiller(size_t nop_words)
+{
+    std::ostringstream os;
+    os << "// Section 7.1.1 victim: i-cache NOP filler\n";
+    // Enable both caches: SCTLR.C | SCTLR.I = (1<<2)|(1<<12) = 0x1004.
+    os << "    movz x0, #0x1004\n";
+    os << "    msr sctlr_el1, x0\n";
+    for (size_t i = 0; i < nop_words; ++i)
+        os << "    nop\n";
+    os << "    hlt\n";
+    return os.str();
+}
+
+std::string
+patternStore(uint64_t base, size_t bytes, uint8_t pattern)
+{
+    if (bytes % 8)
+        fatal("patternStore: size must be 8-byte aligned");
+    uint64_t word = 0;
+    for (int i = 0; i < 8; ++i)
+        word |= static_cast<uint64_t>(pattern) << (8 * i);
+
+    std::ostringstream os;
+    os << "// Section 7.1.2 victim: store pattern 0x" << std::hex
+       << static_cast<int>(pattern) << std::dec << " over " << bytes
+       << " bytes\n";
+    os << "    movz x0, #0x1004\n";
+    os << "    msr sctlr_el1, x0\n";
+    os << loadImm64("x1", base);      // cursor
+    os << loadImm64("x2", word);      // pattern word
+    os << loadImm64("x3", bytes / 8); // remaining words
+    os << "store_loop:\n";
+    os << "    str x2, [x1]\n";
+    os << "    add x1, x1, #8\n";
+    os << "    sub x3, x3, #1\n";
+    os << "    cbnz x3, store_loop\n";
+    // Read everything back (keeps lines resident and exercised).
+    os << loadImm64("x1", base);
+    os << loadImm64("x3", bytes / 8);
+    os << "read_loop:\n";
+    os << "    ldr x4, [x1]\n";
+    os << "    add x1, x1, #8\n";
+    os << "    sub x3, x3, #1\n";
+    os << "    cbnz x3, read_loop\n";
+    os << "    hlt\n";
+    return os.str();
+}
+
+std::string
+vectorFill(uint8_t even_pattern, uint8_t odd_pattern)
+{
+    std::ostringstream os;
+    os << "// Section 7.2 victim: fill v0..v31 with patterns\n";
+    for (unsigned v = 0; v < 32; ++v) {
+        const unsigned p = (v % 2 == 0) ? even_pattern : odd_pattern;
+        os << "    vdup v" << v << ", #" << p << "\n";
+    }
+    os << "    hlt\n";
+    return os.str();
+}
+
+std::string
+ramIndexDump(unsigned ram_id, size_t ways, size_t sets,
+             size_t words_per_line, uint64_t dump_base)
+{
+    std::ostringstream os;
+    os << "// Attacker extraction program (Section 6.1): RAMINDEX dump\n";
+    os << "// caches stay DISABLED so this program cannot pollute them\n";
+    os << loadImm64("x10", dump_base); // output cursor
+    os << loadImm64("x1", ways);
+    os << "    movz x2, #0\n"; // way
+    os << "way_loop:\n";
+    os << loadImm64("x3", sets);
+    os << "    movz x4, #0\n"; // set
+    os << "set_loop:\n";
+    os << loadImm64("x5", words_per_line);
+    os << "    movz x6, #0\n"; // word
+    os << "word_loop:\n";
+    // descriptor = ram_id<<56 | way<<48 | set<<8 | word
+    os << "    movz x7, #" << (ram_id & 0xf) << "\n";
+    os << "    lsl x7, x7, #8\n";
+    os << "    orr x7, x7, x2\n"; // ..ram_id<<8 | way
+    os << "    lsl x7, x7, #48\n";
+    os << "    lsl x8, x4, #8\n";
+    os << "    orr x7, x7, x8\n";
+    os << "    orr x7, x7, x6\n";
+    // The TRM-mandated barrier pair, then the co-processor read.
+    os << "    dsb sy\n";
+    os << "    isb\n";
+    os << "    ramindex x9, x7\n";
+    os << "    str x9, [x10]\n";
+    os << "    add x10, x10, #8\n";
+    os << "    add x6, x6, #1\n";
+    os << "    cmp x6, x5\n";
+    os << "    b.lt word_loop\n";
+    os << "    add x4, x4, #1\n";
+    os << "    cmp x4, x3\n";
+    os << "    b.lt set_loop\n";
+    os << "    add x2, x2, #1\n";
+    os << "    cmp x2, x1\n";
+    os << "    b.lt way_loop\n";
+    os << "    hlt\n";
+    return os.str();
+}
+
+std::vector<uint8_t>
+patternStoreGroundTruth(size_t bytes, uint8_t pattern)
+{
+    return std::vector<uint8_t>(bytes, pattern);
+}
+
+} // namespace workloads
+} // namespace voltboot

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Victim-program generators: the bare-metal software the paper loads onto
+ * its targets, written in vb64 assembly.
+ *
+ * Each generator returns assembly text so tests and examples can show the
+ * exact victim source; assemble with Assembler::assemble.
+ */
+
+#ifndef VOLTBOOT_OS_WORKLOADS_HH
+#define VOLTBOOT_OS_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+
+namespace voltboot
+{
+namespace workloads
+{
+
+/**
+ * Section 7.1.1's victim: enable the caches, then execute a long NOP
+ * slide so the i-cache fills with known machine code. @p nop_words NOPs
+ * after the prologue, then hlt.
+ */
+std::string nopFiller(size_t nop_words);
+
+/**
+ * Section 7.1.2-style victim: enable the d-cache and store @p pattern to
+ * every 8-byte word of [@p base, @p base + @p bytes), then read it all
+ * back, then hlt. The stores land in the d-cache (write-back, dirty).
+ */
+std::string patternStore(uint64_t base, size_t bytes, uint8_t pattern);
+
+/**
+ * Section 7.2's victim: fill the vector registers v0..v31 with
+ * distinguishable patterns (0xFF in even registers, 0xAA in odd ones by
+ * default), then hlt. Register contents never touch memory.
+ */
+std::string vectorFill(uint8_t even_pattern = 0xff,
+                       uint8_t odd_pattern = 0xaa);
+
+/**
+ * The attacker's post-reboot extraction program (Section 6.1): with
+ * caches left disabled, loop RAMINDEX over every (way, set, word) of one
+ * L1 RAM and store the words to DRAM at @p dump_base. Follows each
+ * RAMINDEX with the required dsb sy; isb pair.
+ *
+ * @param ram_id  RamIndexDescriptor RAM id (L1D/L1I data or tag).
+ * @param ways    Cache way count.
+ * @param sets    Cache set count.
+ * @param words_per_line  line_bytes / 8.
+ * @param dump_base       DRAM address for the dump (way-major order).
+ */
+std::string ramIndexDump(unsigned ram_id, size_t ways, size_t sets,
+                         size_t words_per_line, uint64_t dump_base);
+
+/**
+ * Expected ground-truth bytes for patternStore: what the victim's memory
+ * region holds after the program ran.
+ */
+std::vector<uint8_t> patternStoreGroundTruth(size_t bytes, uint8_t pattern);
+
+/** Emit "movz/movk" sequence loading a full 64-bit constant into @p reg. */
+std::string loadImm64(const std::string &reg, uint64_t value);
+
+} // namespace workloads
+} // namespace voltboot
+
+#endif // VOLTBOOT_OS_WORKLOADS_HH

@@ -1,0 +1,134 @@
+#include "power/power_domain.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+
+const char *
+toString(RegulatorKind kind)
+{
+    switch (kind) {
+      case RegulatorKind::Buck:
+        return "BUCK";
+      case RegulatorKind::Ldo:
+        return "LDO";
+    }
+    return "?";
+}
+
+PowerDomain::PowerDomain(std::string name, Volt nominal, RegulatorKind kind,
+                         DomainLoadProfile profile)
+    : name_(std::move(name)), nominal_(nominal), kind_(kind),
+      profile_(profile)
+{
+    if (nominal_.volts() <= 0.0)
+        fatal("PowerDomain ", name_, ": nominal voltage must be positive");
+}
+
+void
+PowerDomain::attachLoad(MemoryArray *array)
+{
+    if (array == nullptr)
+        panic("PowerDomain ", name_, ": null load");
+    loads_.push_back(array);
+}
+
+void
+PowerDomain::attachProbe(const VoltageProbe &probe)
+{
+    if (probe.voltage.volts() <= 0.0)
+        fatal("PowerDomain ", name_, ": probe voltage must be positive");
+    probe_ = probe;
+}
+
+void
+PowerDomain::detachProbe()
+{
+    probe_.reset();
+    if (!powered_) {
+        // Removing the probe from an unpowered domain cuts the only
+        // thing keeping the cells alive: retention ends on the spot.
+        for (MemoryArray *a : loads_)
+            if (a->powerState() == PowerState::Retained)
+                a->powerDown();
+        current_ = Volt(0.0);
+    }
+}
+
+void
+PowerDomain::powerUp(Seconds now, Temperature temp)
+{
+    if (powered_)
+        return;
+
+    const bool held = std::any_of(
+        loads_.begin(), loads_.end(), [](const MemoryArray *a) {
+            return a->powerState() == PowerState::Retained;
+        });
+
+    Seconds off_time = ever_powered_ && !held
+                           ? now - powered_down_at_
+                           : Seconds(1e9);
+    if (off_time.seconds() < 0.0)
+        panic("PowerDomain ", name_, ": time ran backwards");
+
+    for (MemoryArray *a : loads_) {
+        if (a->powerState() == PowerState::Retained)
+            a->resumePowered(nominal_);
+        else
+            a->powerUp(nominal_, off_time, temp);
+    }
+    powered_ = true;
+    current_ = nominal_;
+    ever_powered_ = true;
+}
+
+void
+PowerDomain::scaleVoltage(Volt v)
+{
+    if (!powered_)
+        fatal("PowerDomain ", name_, ": cannot scale an unpowered domain");
+    if (v.volts() <= 0.0)
+        fatal("PowerDomain ", name_,
+              ": use powerDown() to remove power, not scaleVoltage(0)");
+    // Scaling down kills cells whose DRV sits above the new level;
+    // scaling up never resurrects them.
+    if (v < current_)
+        for (MemoryArray *a : loads_)
+            a->droopTo(v);
+    current_ = v;
+}
+
+void
+PowerDomain::powerDown(Seconds now)
+{
+    if (!powered_)
+        return;
+    powered_ = false;
+    powered_down_at_ = now;
+    last_transient_.reset();
+
+    if (!probe_) {
+        for (MemoryArray *a : loads_)
+            a->powerDown();
+        current_ = Volt(0.0);
+        return;
+    }
+
+    // The probe carries the domain across the power cycle. The surge at
+    // disconnect droops the rail; marginal cells flip at the minimum.
+    const ProbeTransient tr = TransientSolver::solve(
+        *probe_, profile_.surge_current, profile_.retention_current,
+        profile_.decap, profile_.surge_duration);
+    last_transient_ = tr;
+    for (MemoryArray *a : loads_) {
+        a->droopTo(tr.v_min);
+        a->retainAt(tr.v_settled);
+    }
+    current_ = tr.v_settled;
+}
+
+} // namespace voltboot

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Power domains: the architectural feature Volt Boot weaponises.
+ *
+ * A PowerDomain models one independently gated supply island of an SoC
+ * (core, memory, I/O, ...). Memory arrays register as loads; the domain
+ * drives their power-state transitions. A domain exposes a supply pin that
+ * the board wires to a PMIC regulator and to board-level test pads — the
+ * attack surface.
+ */
+
+#ifndef VOLTBOOT_POWER_POWER_DOMAIN_HH
+#define VOLTBOOT_POWER_POWER_DOMAIN_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "power/transient.hh"
+#include "sim/units.hh"
+#include "sram/memory_array.hh"
+
+namespace voltboot
+{
+
+/** Kind of regulator feeding a domain (see the paper's Figure 4). */
+enum class RegulatorKind
+{
+    Buck, ///< Switching regulator; high-fluctuation loads (cores, DVFS).
+    Ldo,  ///< Linear regulator; quiet loads (I/O, PLLs).
+};
+
+const char *toString(RegulatorKind kind);
+
+/** Electrical characteristics of a domain's load during a power cycle. */
+struct DomainLoadProfile
+{
+    /** Peak current drawn at main-supply disconnect. */
+    Amp surge_current{0.5};
+    /** Steady current once the domain idles in retention. */
+    Amp retention_current{0.008};
+    /** Length of the disconnect surge window. */
+    Seconds surge_duration = Seconds::microseconds(5.0);
+    /** Total decoupling capacitance on the rail. */
+    Farad decap = Farad::microfarads(100.0);
+    /** Leakage the decap discharges into once fully unpowered. */
+    Amp leakage_current{0.05};
+};
+
+/**
+ * One independently powered island of an SoC.
+ *
+ * The domain does not own its memory arrays (the SoC does); it holds
+ * non-owning pointers and drives their power-state transitions.
+ */
+class PowerDomain
+{
+  public:
+    /**
+     * @param name     e.g. "VDD_CORE".
+     * @param nominal  Nominal operating voltage.
+     * @param kind     Regulator type feeding it.
+     * @param profile  Electrical load characteristics.
+     */
+    PowerDomain(std::string name, Volt nominal, RegulatorKind kind,
+                DomainLoadProfile profile = {});
+
+    const std::string &name() const { return name_; }
+    Volt nominalVoltage() const { return nominal_; }
+    RegulatorKind regulatorKind() const { return kind_; }
+    const DomainLoadProfile &loadProfile() const { return profile_; }
+    DomainLoadProfile &loadProfile() { return profile_; }
+
+    /** Register a memory array powered by this domain (non-owning). */
+    void attachLoad(MemoryArray *array);
+    const std::vector<MemoryArray *> &loads() const { return loads_; }
+
+    bool isPowered() const { return powered_; }
+    bool isProbed() const { return probe_.has_value(); }
+    const std::optional<VoltageProbe> &probe() const { return probe_; }
+
+    /**
+     * Attach an external voltage probe to this domain's test pad. Only
+     * meaningful before the power cycle; the probe then carries the
+     * domain through it.
+     */
+    void attachProbe(const VoltageProbe &probe);
+
+    /** Remove the external probe. */
+    void detachProbe();
+
+    /**
+     * Apply regulator power at the nominal voltage at simulation time
+     * @p now, after the domain has been off since its powerDown (ambient
+     * temperature @p temp governs how much array state survived).
+     */
+    void powerUp(Seconds now, Temperature temp);
+
+    /**
+     * Runtime DVFS: scale the domain's supply to @p v while it stays
+     * powered (the Section 2.1 leakage-saving mode). Cells whose DRV
+     * exceeds @p v lose state — the reason standby voltages are chosen
+     * against the DRV distribution's tail (Qin et al.). Scaling back up
+     * does not restore lost bits.
+     */
+    void scaleVoltage(Volt v);
+
+    /** The domain's current supply level (nominal unless scaled). */
+    Volt currentVoltage() const { return current_; }
+
+    /**
+     * Cut regulator power at time @p now.
+     *
+     * Without a probe, the rail discharges and all loads go Off (their
+     * decay clock starts at the moment the rail crosses the retention
+     * floor — effectively immediately on the attack's timescale).
+     *
+     * With a probe attached, the domain rides through: the surge droop is
+     * solved analytically, each load sees the droop minimum (losing cells
+     * whose DRV is above it) and then holds in Retained state at the
+     * settled probe voltage. This is the heart of Volt Boot.
+     */
+    void powerDown(Seconds now);
+
+    /** The droop transient solved during the last probed power-down. */
+    const std::optional<ProbeTransient> &lastTransient() const
+    { return last_transient_; }
+
+  private:
+    std::string name_;
+    Volt nominal_;
+    RegulatorKind kind_;
+    DomainLoadProfile profile_;
+    std::vector<MemoryArray *> loads_;
+    std::optional<VoltageProbe> probe_;
+    std::optional<ProbeTransient> last_transient_;
+    Volt current_{0.0};
+    bool powered_ = false;
+    Seconds powered_down_at_{0.0};
+    bool ever_powered_ = false;
+};
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_POWER_POWER_DOMAIN_HH

@@ -1,0 +1,13 @@
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+
+bool &
+logVerbose()
+{
+    static bool verbose = false;
+    return verbose;
+}
+
+} // namespace voltboot

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: fatal() is for user error (bad
+ * configuration, invalid arguments) and exits cleanly; panic() is for
+ * internal invariant violations and aborts. warn()/inform() are status
+ * channels that never stop the simulation.
+ */
+
+#ifndef VOLTBOOT_SIM_LOGGING_HH
+#define VOLTBOOT_SIM_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace voltboot
+{
+
+/** Exception thrown for user-level configuration/usage errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown when an internal invariant is violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail
+{
+
+inline void
+format(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+format(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    format(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    format(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report a user-level error; throws FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(detail::concat(args...));
+}
+
+/** Report an internal invariant violation; throws PanicError. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(detail::concat(args...));
+}
+
+/** Verbosity toggle for inform()/warn(); off by default in tests. */
+bool &logVerbose();
+
+/** Informational status message for the user. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    if (logVerbose())
+        std::cerr << "info: " << detail::concat(args...) << "\n";
+}
+
+/** Warn about suspicious but non-fatal conditions. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    if (logVerbose())
+        std::cerr << "warn: " << detail::concat(args...) << "\n";
+}
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_SIM_LOGGING_HH

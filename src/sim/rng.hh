@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Two generators are provided:
+ *
+ *  - Rng: a sequential SplitMix64 stream for workload/scheduler randomness.
+ *  - cellHash / CellRng: counter-based ("random access") hashing used to
+ *    derive per-SRAM-cell physical parameters from (chip seed, array id,
+ *    cell index) without storing anything per cell. The same chip seed
+ *    always produces the same silicon, which is what makes simulated
+ *    power-up fingerprints behave like a PUF.
+ */
+
+#ifndef VOLTBOOT_SIM_RNG_HH
+#define VOLTBOOT_SIM_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace voltboot
+{
+
+/** One SplitMix64 mixing step; also usable as a standalone 64-bit hash. */
+constexpr uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Combine two 64-bit values into one well-mixed 64-bit value. */
+constexpr uint64_t
+hashCombine(uint64_t a, uint64_t b)
+{
+    return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/**
+ * Sequential pseudo-random stream (SplitMix64).
+ *
+ * Fast, tiny state, full 64-bit output; statistically more than adequate for
+ * workload generation and Monte Carlo retention trials.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed) : state_(splitmix64(seed)) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        state_ += 0x9e3779b97f4a7c15ULL;
+        uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Standard normal via Box-Muller. */
+    double
+    gaussian()
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * std::numbers::pi * u2);
+    }
+
+    /** Normal draw with the given mean and standard deviation. */
+    double
+    gaussian(double mean, double sigma)
+    {
+        return mean + sigma * gaussian();
+    }
+
+  private:
+    uint64_t state_;
+};
+
+/**
+ * Stateless per-cell random values.
+ *
+ * Every physical parameter of a simulated SRAM cell is a pure function of
+ * the chip seed, an array identifier, the cell index, and a "channel" tag
+ * naming which parameter is being drawn. This gives random-access, zero
+ * storage, perfectly reproducible silicon.
+ */
+class CellRng
+{
+  public:
+    CellRng(uint64_t chip_seed, uint64_t array_id)
+        : base_(hashCombine(chip_seed, array_id))
+    {}
+
+    /** Raw 64-bit hash for (cell, channel). */
+    uint64_t
+    bits(uint64_t cell, uint64_t channel) const
+    {
+        return splitmix64(hashCombine(base_, hashCombine(cell, channel)));
+    }
+
+    /** Uniform double in [0, 1) for (cell, channel). */
+    double
+    uniform(uint64_t cell, uint64_t channel) const
+    {
+        return static_cast<double>(bits(cell, channel) >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * Standard normal for (cell, channel), via the inverse-CDF
+     * approximation of Acklam (max abs error ~1.15e-9, far below process
+     * noise we model).
+     */
+    double
+    gaussian(uint64_t cell, uint64_t channel) const
+    {
+        return inverseNormalCdf(clampOpen(uniform(cell, channel)));
+    }
+
+    /** Inverse of the standard normal CDF (Acklam's rational approx). */
+    static double inverseNormalCdf(double p);
+
+  private:
+    static double
+    clampOpen(double p)
+    {
+        constexpr double eps = 1e-12;
+        if (p < eps)
+            return eps;
+        if (p > 1.0 - eps)
+            return 1.0 - eps;
+        return p;
+    }
+
+    uint64_t base_;
+};
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_SIM_RNG_HH

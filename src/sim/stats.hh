@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Small statistics helpers for experiment harnesses: a running
+ * mean/variance accumulator (Welford), min/max, and a fixed-bin
+ * histogram. Header-only; used by benches and tests that repeat trials.
+ */
+
+#ifndef VOLTBOOT_SIM_STATS_HH
+#define VOLTBOOT_SIM_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+
+/** Online mean/variance/min/max accumulator (Welford's algorithm). */
+class RunningStats
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Sample variance (n-1 denominator). */
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Standard error of the mean. */
+    double
+    sem() const
+    {
+        return n_ ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+    }
+
+    /** Half-width of the ~95% normal confidence interval. */
+    double ci95() const { return 1.96 * sem(); }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-range, fixed-bin histogram with ASCII rendering. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t bins)
+        : lo_(lo), hi_(hi), counts_(bins, 0)
+    {
+        if (bins == 0 || !(hi > lo))
+            fatal("Histogram: need bins > 0 and hi > lo");
+    }
+
+    void
+    add(double x)
+    {
+        ++total_;
+        if (x < lo_) {
+            ++underflow_;
+            return;
+        }
+        if (x >= hi_) {
+            ++overflow_;
+            return;
+        }
+        const size_t bin = static_cast<size_t>(
+            (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+        ++counts_[std::min(bin, counts_.size() - 1)];
+    }
+
+    uint64_t total() const { return total_; }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+    const std::vector<uint64_t> &counts() const { return counts_; }
+
+    /** Render one line per bin: "[lo,hi) ####### (count)". */
+    std::string
+    render(size_t max_width = 50) const
+    {
+        uint64_t peak = 1;
+        for (uint64_t c : counts_)
+            peak = std::max(peak, c);
+        std::string out;
+        const double step =
+            (hi_ - lo_) / static_cast<double>(counts_.size());
+        for (size_t i = 0; i < counts_.size(); ++i) {
+            char label[64];
+            std::snprintf(label, sizeof(label), "[%8.3f, %8.3f) ",
+                          lo_ + step * static_cast<double>(i),
+                          lo_ + step * static_cast<double>(i + 1));
+            out += label;
+            out += std::string(
+                static_cast<size_t>(static_cast<double>(counts_[i]) /
+                                    static_cast<double>(peak) *
+                                    static_cast<double>(max_width)),
+                '#');
+            out += " (" + std::to_string(counts_[i]) + ")\n";
+        }
+        return out;
+    }
+
+  private:
+    double lo_, hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0, underflow_ = 0, overflow_ = 0;
+};
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_SIM_STATS_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Strong physical unit types used throughout the simulator.
+ *
+ * The power-delivery and retention models mix voltages, currents,
+ * temperatures and times; mixing those up silently is the classic source of
+ * simulation bugs, so each quantity gets a tiny strong wrapper with explicit
+ * accessors and only the physically meaningful operators.
+ */
+
+#ifndef VOLTBOOT_SIM_UNITS_HH
+#define VOLTBOOT_SIM_UNITS_HH
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace voltboot
+{
+
+/**
+ * CRTP base for a scalar physical quantity backed by a double.
+ *
+ * Provides ordering, addition/subtraction within the same unit, and scaling
+ * by dimensionless factors. Cross-unit products (e.g. volts = amps * ohms)
+ * are exposed as free functions next to the unit definitions so the
+ * dimensional rules stay explicit.
+ */
+template <typename Derived>
+class Quantity
+{
+  public:
+    constexpr Quantity() = default;
+    explicit constexpr Quantity(double value) : value_(value) {}
+
+    /** Raw magnitude in the unit's base SI scale. */
+    constexpr double raw() const { return value_; }
+
+    friend constexpr auto operator<=>(const Derived &a, const Derived &b)
+    { return a.raw() <=> b.raw(); }
+    friend constexpr bool operator==(const Derived &a, const Derived &b)
+    { return a.raw() == b.raw(); }
+
+    friend constexpr Derived operator+(const Derived &a, const Derived &b)
+    { return Derived(a.raw() + b.raw()); }
+    friend constexpr Derived operator-(const Derived &a, const Derived &b)
+    { return Derived(a.raw() - b.raw()); }
+    friend constexpr Derived operator*(const Derived &a, double s)
+    { return Derived(a.raw() * s); }
+    friend constexpr Derived operator*(double s, const Derived &a)
+    { return Derived(a.raw() * s); }
+    friend constexpr Derived operator/(const Derived &a, double s)
+    { return Derived(a.raw() / s); }
+    /** Ratio of two like quantities is dimensionless. */
+    friend constexpr double operator/(const Derived &a, const Derived &b)
+    { return a.raw() / b.raw(); }
+
+    Derived &operator+=(const Derived &o)
+    { value_ += o.raw(); return static_cast<Derived &>(*this); }
+    Derived &operator-=(const Derived &o)
+    { value_ -= o.raw(); return static_cast<Derived &>(*this); }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Electric potential, stored in volts. */
+class Volt : public Quantity<Volt>
+{
+  public:
+    using Quantity::Quantity;
+    static constexpr Volt millivolts(double mv) { return Volt(mv * 1e-3); }
+    constexpr double volts() const { return raw(); }
+    constexpr double millivolts() const { return raw() * 1e3; }
+};
+
+/** Electric current, stored in amperes. */
+class Amp : public Quantity<Amp>
+{
+  public:
+    using Quantity::Quantity;
+    static constexpr Amp milliamps(double ma) { return Amp(ma * 1e-3); }
+    constexpr double amps() const { return raw(); }
+    constexpr double milliamps() const { return raw() * 1e3; }
+};
+
+/** Resistance, stored in ohms. */
+class Ohm : public Quantity<Ohm>
+{
+  public:
+    using Quantity::Quantity;
+    static constexpr Ohm milliohms(double mo) { return Ohm(mo * 1e-3); }
+    constexpr double ohms() const { return raw(); }
+};
+
+/** Capacitance, stored in farads. */
+class Farad : public Quantity<Farad>
+{
+  public:
+    using Quantity::Quantity;
+    static constexpr Farad microfarads(double uf) { return Farad(uf * 1e-6); }
+    static constexpr Farad nanofarads(double nf) { return Farad(nf * 1e-9); }
+    constexpr double farads() const { return raw(); }
+    constexpr double microfarads() const { return raw() * 1e6; }
+};
+
+/** Time interval, stored in seconds. */
+class Seconds : public Quantity<Seconds>
+{
+  public:
+    using Quantity::Quantity;
+    static constexpr Seconds milliseconds(double ms)
+    { return Seconds(ms * 1e-3); }
+    static constexpr Seconds microseconds(double us)
+    { return Seconds(us * 1e-6); }
+    static constexpr Seconds nanoseconds(double ns)
+    { return Seconds(ns * 1e-9); }
+    constexpr double seconds() const { return raw(); }
+    constexpr double milliseconds() const { return raw() * 1e3; }
+    constexpr double microseconds() const { return raw() * 1e6; }
+};
+
+/**
+ * Absolute temperature, stored in kelvin.
+ *
+ * Most of the paper's discussion is in Celsius (thermal-chamber settings),
+ * so a Celsius constructor is provided; the Arrhenius retention math wants
+ * kelvin.
+ */
+class Temperature : public Quantity<Temperature>
+{
+  public:
+    using Quantity::Quantity;
+    static constexpr Temperature celsius(double c)
+    { return Temperature(c + 273.15); }
+    static constexpr Temperature kelvin(double k) { return Temperature(k); }
+    constexpr double kelvins() const { return raw(); }
+    constexpr double celsiusDegrees() const { return raw() - 273.15; }
+};
+
+/** Ohm's law helpers keep the dimensional algebra explicit. */
+constexpr Volt operator*(const Amp &i, const Ohm &r)
+{ return Volt(i.amps() * r.ohms()); }
+constexpr Volt operator*(const Ohm &r, const Amp &i) { return i * r; }
+constexpr Amp operator/(const Volt &v, const Ohm &r)
+{ return Amp(v.volts() / r.ohms()); }
+/** RC time constant. */
+constexpr Seconds operator*(const Ohm &r, const Farad &c)
+{ return Seconds(r.ohms() * c.farads()); }
+
+inline std::ostream &operator<<(std::ostream &os, const Volt &v)
+{ return os << v.volts() << " V"; }
+inline std::ostream &operator<<(std::ostream &os, const Amp &a)
+{ return os << a.amps() << " A"; }
+inline std::ostream &operator<<(std::ostream &os, const Seconds &s)
+{ return os << s.seconds() << " s"; }
+inline std::ostream &operator<<(std::ostream &os, const Temperature &t)
+{ return os << t.celsiusDegrees() << " degC"; }
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_SIM_UNITS_HH

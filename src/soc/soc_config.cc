@@ -1,0 +1,151 @@
+#include "soc/soc_config.hh"
+
+namespace voltboot
+{
+
+SocConfig
+SocConfig::bcm2711()
+{
+    SocConfig c;
+    c.board_name = "Raspberry Pi 4";
+    c.soc_name = "BCM2711";
+    c.cpu_name = "Cortex-A72";
+    c.pmic_name = "MxL7704";
+    c.core_count = 4;
+
+    // A72: 48 KB 3-way L1I, 32 KB 2-way L1D (the paper's Table 4 works
+    // on the 2-way 32 KB d-cache: WAY0 = 256 lines x 512 bits = 16 KB).
+    c.l1i = CacheGeometry{48 * 1024, 3, 64};
+    c.l1d = CacheGeometry{32 * 1024, 2, 64};
+    c.l2 = CacheGeometry{1024 * 1024, 16, 64};
+
+    c.dram_bytes = 2 << 20;
+
+    c.core_domain = DomainSpec{"VDD_CORE", Volt(0.8), true,
+                               Amp(0.6), Amp::milliamps(8),
+                               Farad::microfarads(220)};
+    c.mem_domain = DomainSpec{"VDD_SDRAM", Volt(1.1), true,
+                              Amp(0.8), Amp::milliamps(15),
+                              Farad::microfarads(100)};
+    c.io_domain = DomainSpec{"VDD_IO", Volt(3.3), false,
+                             Amp(0.2), Amp::milliamps(5),
+                             Farad::microfarads(47)};
+
+    c.pads = {{"TP15", "VDD_CORE"},
+              {"TP14", "VDD_SDRAM"},
+              {"TP7", "VDD_IO"}};
+    c.attack_pad = "TP15";
+    c.attack_target = "L1D, L1I, registers";
+
+    c.has_videocore = true; // VideoCore clobbers the shared L2 at boot
+    c.chip_seed = 0x2711;
+    return c;
+}
+
+SocConfig
+SocConfig::bcm2837()
+{
+    SocConfig c;
+    c.board_name = "Raspberry Pi 3";
+    c.soc_name = "BCM2837";
+    c.cpu_name = "Cortex-A53";
+    c.pmic_name = "PAM2306 (discrete)";
+    c.core_count = 4;
+
+    // A53: 32 KB 2-way L1I (with per-line ECC bits in the real part),
+    // 32 KB 4-way L1D, 512 KB shared L2. A53 L1s replace pseudo-randomly.
+    c.l1i = CacheGeometry{32 * 1024, 2, 64, ReplacementPolicy::Random};
+    c.l1d = CacheGeometry{32 * 1024, 4, 64, ReplacementPolicy::Random};
+    c.l2 = CacheGeometry{512 * 1024, 16, 64};
+
+    c.dram_bytes = 2 << 20;
+
+    c.core_domain = DomainSpec{"VDD_CORE", Volt(1.2), true,
+                               Amp(0.5), Amp::milliamps(8),
+                               Farad::microfarads(220)};
+    c.mem_domain = DomainSpec{"VDD_SDRAM", Volt(1.2), true,
+                              Amp(0.7), Amp::milliamps(15),
+                              Farad::microfarads(100)};
+    c.io_domain = DomainSpec{"VDD_IO", Volt(3.3), false,
+                             Amp(0.2), Amp::milliamps(5),
+                             Farad::microfarads(47)};
+
+    c.pads = {{"PP58", "VDD_CORE"},
+              {"PP23", "VDD_SDRAM"},
+              {"PP7", "VDD_IO"}};
+    c.attack_pad = "PP58";
+    c.attack_target = "L1D, L1I, registers";
+
+    c.has_videocore = true;
+    // Footnote 4: the A53 i-cache line holds instructions + ECC in an
+    // order the TRM does not document.
+    c.icache_ecc_undocumented = true;
+    c.chip_seed = 0x2837;
+    return c;
+}
+
+SocConfig
+SocConfig::imx535()
+{
+    SocConfig c;
+    c.board_name = "i.MX53 QSB";
+    c.soc_name = "i.MX535";
+    c.cpu_name = "Cortex-A8";
+    c.pmic_name = "DA9053";
+    c.core_count = 1;
+
+    // A8: 32 KB/32 KB 4-way L1s (pseudo-random replacement), 256 KB L2.
+    c.l1i = CacheGeometry{32 * 1024, 4, 64, ReplacementPolicy::Random};
+    c.l1d = CacheGeometry{32 * 1024, 4, 64, ReplacementPolicy::Random};
+    c.l2 = CacheGeometry{256 * 1024, 8, 64};
+
+    c.dram_bytes = 2 << 20;
+
+    // 128 KB iRAM (OCRAM) at its real address.
+    c.iram_base = 0xF8000000;
+    c.iram_bytes = 128 * 1024;
+    c.iram_on_mem_domain = true;
+
+    c.core_domain = DomainSpec{"VCC_GP", Volt(1.1), true,
+                               Amp(0.5), Amp::milliamps(8),
+                               Farad::microfarads(100)};
+    // The L1 memory power domain of the i.MX535: feeds the iRAM only.
+    c.mem_domain = DomainSpec{"VDDAL1", Volt(1.3), true,
+                              Amp(0.3), Amp::milliamps(6),
+                              Farad::microfarads(47)};
+    c.io_domain = DomainSpec{"NVCC_IO", Volt(3.15), false,
+                             Amp(0.2), Amp::milliamps(5),
+                             Farad::microfarads(47)};
+    // External DDR and the L2 complex draw from a separate rail, so a
+    // probe on VDDAL1 (SH13) retains the iRAM and nothing else.
+    c.sdram_domain = DomainSpec{"NVCC_EMI_DRAM", Volt(1.5), true,
+                                Amp(0.6), Amp::milliamps(20),
+                                Farad::microfarads(100)};
+    c.l2_on_mem_domain = false;
+
+    c.pads = {{"SH13", "VDDAL1"},
+              {"SH2", "VCC_GP"},
+              {"SH9", "NVCC_IO"}};
+    c.attack_pad = "SH13";
+    c.attack_target = "iRAM";
+
+    // The internal boot ROM uses iRAM as scratchpad before DRAM is up:
+    // the paper locates the main clobber at 0xF800083C-0xF80018CC plus a
+    // smaller region near the end of the iRAM (~5% total inaccessible).
+    c.iram_boot_clobbers = {
+        {0xF800083C, 0xF80018CC},
+        {0xF801F400, 0xF8020000},
+    };
+    c.jtag_enabled = true;
+    c.has_videocore = false;
+    c.chip_seed = 0x535;
+    return c;
+}
+
+std::vector<SocConfig>
+SocConfig::allPlatforms()
+{
+    return {bcm2837(), bcm2711(), imx535()};
+}
+
+} // namespace voltboot

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Device database: the three evaluation platforms of the paper's Table 2,
+ * with the power wiring of Table 3.
+ *
+ *  | Board          | SoC     | CPU            | Pad  | Rail    | Target  |
+ *  |----------------|---------|----------------|------|---------|---------|
+ *  | Raspberry Pi 4 | BCM2711 | 4x Cortex-A72  | TP15 | 0.8 V   | L1/regs |
+ *  | Raspberry Pi 3 | BCM2837 | 4x Cortex-A53  | PP58 | 1.2 V   | L1/regs |
+ *  | i.MX53 QSB     | i.MX535 | 1x Cortex-A8   | SH13 | 1.3 V   | iRAM    |
+ */
+
+#ifndef VOLTBOOT_SOC_SOC_CONFIG_HH
+#define VOLTBOOT_SOC_SOC_CONFIG_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "sim/units.hh"
+
+namespace voltboot
+{
+
+/** One power domain of the SoC and what it feeds. */
+struct DomainSpec
+{
+    std::string name;    ///< Supply pin name, e.g. "VDD_CORE".
+    Volt nominal;        ///< Nominal voltage.
+    bool buck = true;    ///< Switching regulator (vs LDO).
+    Amp surge_current{0.5};
+    Amp retention_current{0.008};
+    Farad decap = Farad::microfarads(100.0);
+};
+
+/** A region the boot ROM scribbles over before releasing the CPU. */
+struct BootClobber
+{
+    uint64_t begin; ///< Absolute address, inclusive.
+    uint64_t end;   ///< Absolute address, exclusive.
+};
+
+/** Full platform description. */
+struct SocConfig
+{
+    std::string board_name;
+    std::string soc_name;
+    std::string cpu_name;
+    std::string pmic_name;
+    unsigned core_count = 4;
+
+    CacheGeometry l1i;
+    CacheGeometry l1d;
+    std::optional<CacheGeometry> l2;
+
+    uint64_t dram_base = 0x0;
+    size_t dram_bytes = 1 << 20;
+    uint64_t iram_base = 0;
+    size_t iram_bytes = 0;
+
+    /** Power domains; conventionally core, memory, io. */
+    DomainSpec core_domain;
+    DomainSpec mem_domain;
+    DomainSpec io_domain;
+    /**
+     * Optional dedicated external-SDRAM rail. When present, DRAM (and
+     * the L2 on parts where the L2 is not in the on-chip memory domain)
+     * draws from it instead of mem_domain — the i.MX535's VDDAL1 feeds
+     * only the on-chip L1 memories (iRAM), while the external DDR has
+     * its own supply.
+     */
+    std::optional<DomainSpec> sdram_domain;
+
+    /** Which arrays hang off which domain. */
+    bool iram_on_mem_domain = true;
+    /** L2 sits on the sdram/mem domain boundary: true = mem_domain. */
+    bool l2_on_mem_domain = true;
+
+    /** Board-level test pads: label -> domain name. */
+    struct PadSpec
+    {
+        std::string label;
+        std::string domain;
+    };
+    std::vector<PadSpec> pads;
+
+    /** The pad the published attack probes, and the memories it targets. */
+    std::string attack_pad;
+    std::string attack_target; ///< "L1D, L1I, registers" or "iRAM".
+
+    /**
+     * BCM-style VideoCore: a GPU boot firmware that owns the shared L2
+     * at startup and clobbers its contents before the ARM cores run.
+     */
+    bool has_videocore = false;
+
+    /**
+     * i.MX-style internal boot ROM that uses part of the iRAM as
+     * scratchpad before handing off (the paper measures the region
+     * 0xF800083C-0xF80018CC plus a cluster near the end; ~5% of iRAM).
+     */
+    std::vector<BootClobber> iram_boot_clobbers;
+
+    /** JTAG debug access available without boot firmware (i.MX535). */
+    bool jtag_enabled = false;
+
+    /**
+     * The L1I data RAM stores instructions and ECC interleaved in an
+     * undocumented bit order (the paper's footnote 4 on the Cortex-A53):
+     * RAMINDEX dumps of it cannot be grepped for machine code directly;
+     * attackers compare before/after dumps instead.
+     */
+    bool icache_ecc_undocumented = false;
+
+    /** OEM-mandated authenticated boot (Section 8 countermeasure). */
+    bool authenticated_boot = false;
+    /** Hardware SRAM reset at boot (Section 8 countermeasure). */
+    bool boot_sram_reset = false;
+    /** TrustZone NS-bit enforcement on debug reads (Section 8). */
+    bool trustzone_enforced = false;
+
+    /** Chip-unique process variation seed. */
+    uint64_t chip_seed = 0x2711;
+
+    /** Evaluated platforms. */
+    static SocConfig bcm2711(); ///< Raspberry Pi 4.
+    static SocConfig bcm2837(); ///< Raspberry Pi 3.
+    static SocConfig imx535();  ///< i.MX53 Quick Start Board.
+
+    /** All three, in the paper's Table 2 order. */
+    static std::vector<SocConfig> allPlatforms();
+};
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_SOC_SOC_CONFIG_HH

@@ -1,0 +1,317 @@
+#include "sram/memory_array.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+
+const char *
+toString(PowerState state)
+{
+    switch (state) {
+      case PowerState::Powered:
+        return "Powered";
+      case PowerState::Retained:
+        return "Retained";
+      case PowerState::Off:
+        return "Off";
+    }
+    return "?";
+}
+
+MemoryArray::MemoryArray(std::string name, size_t size_bytes,
+                         const RetentionConfig &config, uint64_t chip_seed,
+                         uint64_t array_id)
+    : name_(std::move(name)), bytes_(size_bytes, 0),
+      model_(config, CellRng(chip_seed, array_id))
+{
+    if (size_bytes == 0)
+        fatal("MemoryArray ", name_, ": size must be nonzero");
+}
+
+void
+MemoryArray::requirePowered(const char *op) const
+{
+    if (state_ != PowerState::Powered)
+        panic("MemoryArray ", name_, ": ", op, " while ",
+              toString(state_));
+}
+
+bool
+MemoryArray::agedPowerUpState(uint64_t cell, const CellParams &p,
+                              uint64_t nonce) const
+{
+    const bool base = model_.powerUpState(cell, p, nonce);
+    if (imprint_.empty())
+        return base;
+    const double s = imprint_[cell];
+    if (s == 0.0)
+        return base;
+    // Imprint drift: with weight w = |s| / (|s| + 20 years), the cell
+    // powers up to the imprinted value instead of its intrinsic state.
+    const double w = std::abs(s) / (std::abs(s) + 20.0);
+    const bool imprinted = s > 0.0;
+    const double u = model_.rng().uniform(
+        hashCombine(cell, nonce), RetentionModel::ChannelStability + 100);
+    return u < w ? imprinted : base;
+}
+
+template <typename SurvivesFn>
+void
+MemoryArray::applyLoss(SurvivesFn survives)
+{
+    const uint64_t nonce = power_up_count_;
+    for (size_t byte = 0; byte < bytes_.size(); ++byte) {
+        uint8_t v = bytes_[byte];
+        uint8_t out = 0;
+        for (int bit = 0; bit < 8; ++bit) {
+            const uint64_t cell = byte * 8 + bit;
+            const CellParams p = model_.cellParams(cell);
+            bool value;
+            if (survives(p)) {
+                value = (v >> bit) & 1;
+            } else {
+                value = agedPowerUpState(cell, p, nonce);
+            }
+            out |= static_cast<uint8_t>(value) << bit;
+        }
+        bytes_[byte] = out;
+    }
+}
+
+void
+MemoryArray::age(double years)
+{
+    requirePowered("age");
+    if (years <= 0.0)
+        fatal("MemoryArray ", name_, ": aging needs positive duration");
+    if (imprint_.empty())
+        imprint_.assign(sizeBits(), 0.0f);
+    for (size_t byte = 0; byte < bytes_.size(); ++byte) {
+        const uint8_t v = bytes_[byte];
+        for (int bit = 0; bit < 8; ++bit) {
+            const float delta =
+                ((v >> bit) & 1) ? static_cast<float>(years)
+                                 : -static_cast<float>(years);
+            imprint_[byte * 8 + bit] += delta;
+        }
+    }
+}
+
+double
+MemoryArray::imprintYears(uint64_t bit) const
+{
+    if (imprint_.empty() || bit >= imprint_.size())
+        return 0.0;
+    return imprint_[bit];
+}
+
+void
+MemoryArray::ensureFingerprint() const
+{
+    if (!fingerprint_.empty())
+        return;
+    fingerprint_.assign(bytes_.size(), 0);
+    metastable_mask_.assign(bytes_.size(), 0);
+    for (size_t byte = 0; byte < bytes_.size(); ++byte) {
+        uint8_t fp = 0, ms = 0;
+        for (int bit = 0; bit < 8; ++bit) {
+            const CellParams p = model_.cellParams(byte * 8 + bit);
+            fp |= static_cast<uint8_t>(p.power_up_bit) << bit;
+            ms |= static_cast<uint8_t>(p.metastable) << bit;
+        }
+        fingerprint_[byte] = fp;
+        metastable_mask_[byte] = ms;
+    }
+}
+
+void
+MemoryArray::resolveAllToPowerUp()
+{
+    if (!imprint_.empty()) {
+        // Aged arrays need the per-cell path: imprint drift modulates
+        // every power-up draw, so the cached fingerprint is invalid.
+        applyLoss([](const CellParams &) { return false; });
+        return;
+    }
+    ensureFingerprint();
+    const uint64_t nonce = power_up_count_;
+    bytes_ = fingerprint_;
+    // Metastable cells re-roll on every power-up.
+    for (size_t byte = 0; byte < bytes_.size(); ++byte) {
+        const uint8_t ms = metastable_mask_[byte];
+        if (!ms)
+            continue;
+        for (int bit = 0; bit < 8; ++bit) {
+            if (!((ms >> bit) & 1))
+                continue;
+            const uint64_t cell = byte * 8 + bit;
+            const bool value = model_.metastableDraw(cell, nonce);
+            bytes_[byte] = (bytes_[byte] & ~(1u << bit)) |
+                           (static_cast<uint8_t>(value) << bit);
+        }
+    }
+}
+
+void
+MemoryArray::powerUp(Volt v, Seconds off_time, Temperature temp)
+{
+    if (state_ == PowerState::Powered)
+        panic("MemoryArray ", name_, ": powerUp while already Powered");
+
+    ++power_up_count_;
+    if (state_ == PowerState::Retained) {
+        // Held through the power cycle: nothing decays, but cells whose
+        // DRV exceeds the retention voltage were already lost at
+        // retainAt() time. Just resume.
+        state_ = PowerState::Powered;
+        supply_ = v;
+        return;
+    }
+
+    if (!ever_powered_) {
+        // First ever power-on: every cell resolves to its power-up state.
+        resolveAllToPowerUp();
+        ever_powered_ = true;
+    } else {
+        // Array-level fast paths bound the per-cell work: when the
+        // expected survival is essentially 0 or 1 no individual cell can
+        // deviate from it beyond the lognormal's far tail.
+        const double p_survive = model_.expectedSurvival(off_time, temp);
+        if (p_survive < 1e-12) {
+            resolveAllToPowerUp();
+        } else if (p_survive <= 1.0 - 1e-12) {
+            applyLoss([&](const CellParams &p) {
+                return model_.survivesUnpowered(p, off_time, temp);
+            });
+        }
+        // else: everything survives; contents untouched.
+    }
+    state_ = PowerState::Powered;
+    supply_ = v;
+}
+
+void
+MemoryArray::powerDown()
+{
+    if (state_ == PowerState::Off)
+        return;
+    state_ = PowerState::Off;
+    supply_ = Volt(0.0);
+}
+
+void
+MemoryArray::retainAt(Volt v)
+{
+    if (state_ == PowerState::Off)
+        panic("MemoryArray ", name_,
+              ": cannot retain an already-unpowered array");
+    // Cells that need more than the retention voltage lose state now.
+    droopTo(v);
+    state_ = PowerState::Retained;
+    supply_ = v;
+    ever_powered_ = true;
+}
+
+void
+MemoryArray::droopTo(Volt v_min)
+{
+    if (state_ == PowerState::Off)
+        panic("MemoryArray ", name_, ": droop while Off");
+    if (v_min >= model_.config().drv_max)
+        return; // above every possible DRV: nothing can flip
+    if (v_min <= model_.config().drv_min) {
+        resolveAllToPowerUp();
+        return;
+    }
+    applyLoss([&](const CellParams &p) {
+        return model_.survivesAtVoltage(p, v_min);
+    });
+}
+
+void
+MemoryArray::resumePowered(Volt v)
+{
+    if (state_ != PowerState::Retained)
+        panic("MemoryArray ", name_, ": resumePowered while ",
+              toString(state_));
+    state_ = PowerState::Powered;
+    supply_ = v;
+}
+
+uint8_t
+MemoryArray::readByte(size_t addr) const
+{
+    requirePowered("readByte");
+    if (addr >= bytes_.size())
+        panic("MemoryArray ", name_, ": read out of range: ", addr);
+    return bytes_[addr];
+}
+
+void
+MemoryArray::writeByte(size_t addr, uint8_t value)
+{
+    requirePowered("writeByte");
+    if (addr >= bytes_.size())
+        panic("MemoryArray ", name_, ": write out of range: ", addr);
+    bytes_[addr] = value;
+}
+
+void
+MemoryArray::read(size_t addr, std::span<uint8_t> out) const
+{
+    requirePowered("read");
+    if (addr + out.size() > bytes_.size())
+        panic("MemoryArray ", name_, ": block read out of range");
+    std::memcpy(out.data(), bytes_.data() + addr, out.size());
+}
+
+void
+MemoryArray::write(size_t addr, std::span<const uint8_t> data)
+{
+    requirePowered("write");
+    if (addr + data.size() > bytes_.size())
+        panic("MemoryArray ", name_, ": block write out of range");
+    std::memcpy(bytes_.data() + addr, data.data(), data.size());
+}
+
+uint64_t
+MemoryArray::readWord64(size_t addr) const
+{
+    requirePowered("readWord64");
+    if (addr + 8 > bytes_.size())
+        panic("MemoryArray ", name_, ": word read out of range: ", addr);
+    uint64_t v;
+    std::memcpy(&v, bytes_.data() + addr, 8);
+    return v;
+}
+
+void
+MemoryArray::writeWord64(size_t addr, uint64_t value)
+{
+    requirePowered("writeWord64");
+    if (addr + 8 > bytes_.size())
+        panic("MemoryArray ", name_, ": word write out of range: ", addr);
+    std::memcpy(bytes_.data() + addr, &value, 8);
+}
+
+std::vector<uint8_t>
+MemoryArray::snapshot() const
+{
+    if (state_ == PowerState::Off)
+        panic("MemoryArray ", name_,
+              ": snapshot of an unpowered array is physically meaningless");
+    return bytes_;
+}
+
+void
+MemoryArray::fill(uint8_t value)
+{
+    requirePowered("fill");
+    std::fill(bytes_.begin(), bytes_.end(), value);
+}
+
+} // namespace voltboot

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Byte-addressable simulated memory arrays with retention physics.
+ *
+ * A MemoryArray owns the stored bits plus a power-state machine:
+ *
+ *   Powered  -- normal operation at a supply voltage;
+ *   Retained -- externally held at some voltage (the Volt Boot probe) while
+ *               the rest of the system power-cycles;
+ *   Off      -- unpowered; state decays with time and temperature.
+ *
+ * Transitions apply the RetentionModel per cell. Cells that lose state
+ * resolve to their power-up fingerprint (PUF-like, stable per chip seed,
+ * with a metastable fraction that re-rolls every power-up).
+ */
+
+#ifndef VOLTBOOT_SRAM_MEMORY_ARRAY_HH
+#define VOLTBOOT_SRAM_MEMORY_ARRAY_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/units.hh"
+#include "sram/retention_model.hh"
+
+namespace voltboot
+{
+
+/** Power state of a memory array. */
+enum class PowerState
+{
+    Powered,  ///< Supplied by its domain at nominal voltage.
+    Retained, ///< Held by an external source (e.g., Volt Boot probe).
+    Off,      ///< Unpowered; contents decay.
+};
+
+/** Convert a PowerState to a human-readable name. */
+const char *toString(PowerState state);
+
+/**
+ * A byte-addressable array of simulated 6T-SRAM (or DRAM) cells.
+ *
+ * The array is always constructed Off with undefined content; the first
+ * powerUp() fills it with the chip's power-up fingerprint, mirroring real
+ * silicon where "SRAMs boot up into random states where approximately 50%
+ * of the bits are 1s".
+ */
+class MemoryArray
+{
+  public:
+    /**
+     * @param name        Human-readable identifier (e.g. "core0.L1D.data").
+     * @param size_bytes  Capacity in bytes.
+     * @param config      Cell technology parameters.
+     * @param chip_seed   Identifies the simulated die; the same seed always
+     *                    yields identical silicon.
+     * @param array_id    Distinguishes arrays within one chip.
+     */
+    MemoryArray(std::string name, size_t size_bytes,
+                const RetentionConfig &config, uint64_t chip_seed,
+                uint64_t array_id);
+
+    const std::string &name() const { return name_; }
+    size_t sizeBytes() const { return bytes_.size(); }
+    size_t sizeBits() const { return bytes_.size() * 8; }
+    PowerState powerState() const { return state_; }
+    Volt supplyVoltage() const { return supply_; }
+    const RetentionModel &model() const { return model_; }
+
+    /**
+     * Power the array on at voltage @p v after having been Off for
+     * @p off_time at temperature @p temp. Cells whose retention time
+     * exceeds off_time keep their bits; the rest resolve to power-up
+     * state. The very first power-up initialises every cell.
+     */
+    void powerUp(Volt v, Seconds off_time, Temperature temp);
+
+    /** Convenience: first power-on (everything resolves to fingerprint). */
+    void
+    powerUp(Volt v)
+    {
+        powerUp(v, Seconds(1e9), Temperature::celsius(25.0));
+    }
+
+    /** Remove power. Contents will decay until the next powerUp(). */
+    void powerDown();
+
+    /**
+     * Enter the Retained state at voltage @p v (a probe or an always-on
+     * rail holds the array through a power cycle). Cells whose DRV exceeds
+     * @p v lose state immediately.
+     */
+    void retainAt(Volt v);
+
+    /**
+     * Apply a transient voltage droop of the supply down to @p v_min (for
+     * a few microseconds, long enough for marginal cells to flip). Valid
+     * in Powered or Retained states.
+     */
+    void droopTo(Volt v_min);
+
+    /** Resume normal powered operation from the Retained state. */
+    void resumePowered(Volt v);
+
+    /** Read/write bytes. Asserts the array is Powered. */
+    uint8_t readByte(size_t addr) const;
+    void writeByte(size_t addr, uint8_t value);
+    void read(size_t addr, std::span<uint8_t> out) const;
+    void write(size_t addr, std::span<const uint8_t> data);
+    uint64_t readWord64(size_t addr) const;
+    void writeWord64(size_t addr, uint64_t value);
+
+    /**
+     * Raw snapshot of the stored bits regardless of power state —
+     * this is what a debug port (RAMINDEX / JTAG) sees after reboot.
+     * Reading an Off array is a modelling error (real SRAM cannot be read
+     * without power) and panics.
+     */
+    std::vector<uint8_t> snapshot() const;
+
+    /** Fill with a repeated byte pattern (test/bench helper). */
+    void fill(uint8_t value);
+
+    /** Cell parameters for bit index @p bit (diagnostics/tests). */
+    CellParams cellParams(uint64_t bit) const { return model_.cellParams(bit); }
+
+    /** Number of power-up events so far (metastable-cell nonce). */
+    uint64_t powerUpCount() const { return power_up_count_; }
+
+    /**
+     * Circuit aging / data imprinting (the Section 9.2 attack family):
+     * holding a value for years of powered operation shifts the cell's
+     * analog balance so its *power-up* state leans toward the stored
+     * value. age() accrues @p years of imprint on the current contents;
+     * subsequent power-up resolutions are biased accordingly. The drift
+     * half-life is ~20 years: a decade of imprint yields only "modest"
+     * recovery, matching the literature's characterisation.
+     */
+    void age(double years);
+
+    /** Signed imprint-years on bit @p bit (positive leans 1). */
+    double imprintYears(uint64_t bit) const;
+
+  private:
+    void requirePowered(const char *op) const;
+    /** Resolve every cell that fails @p survives to its power-up state. */
+    template <typename SurvivesFn>
+    void applyLoss(SurvivesFn survives);
+    /** Fast path: every cell resolves to its power-up state. */
+    void resolveAllToPowerUp();
+    /** Lazily compute and cache the stable power-up fingerprint. */
+    void ensureFingerprint() const;
+
+    std::string name_;
+    std::vector<uint8_t> bytes_;
+    RetentionModel model_;
+    PowerState state_ = PowerState::Off;
+    Volt supply_{0.0};
+    uint64_t power_up_count_ = 0;
+    bool ever_powered_ = false;
+    /** Cached stable power-up state (metastable cells excluded). */
+    mutable std::vector<uint8_t> fingerprint_;
+    /** Bit mask of metastable cells (re-rolled every power-up). */
+    mutable std::vector<uint8_t> metastable_mask_;
+    /** Signed imprint-years per cell; empty until age() is first used. */
+    std::vector<float> imprint_;
+    /** Resolve @p cell's power-up state including any imprint drift. */
+    bool agedPowerUpState(uint64_t cell, const CellParams &p,
+                          uint64_t nonce) const;
+};
+
+/** An SRAM array with 6T-cell defaults. */
+class SramArray : public MemoryArray
+{
+  public:
+    SramArray(std::string name, size_t size_bytes, uint64_t chip_seed,
+              uint64_t array_id,
+              const RetentionConfig &config = RetentionConfig::sram6t())
+        : MemoryArray(std::move(name), size_bytes, config, chip_seed,
+                      array_id)
+    {}
+};
+
+/** A DRAM array: same framework, capacitor-grade retention constants. */
+class DramArray : public MemoryArray
+{
+  public:
+    DramArray(std::string name, size_t size_bytes, uint64_t chip_seed,
+              uint64_t array_id,
+              const RetentionConfig &config = RetentionConfig::dram())
+        : MemoryArray(std::move(name), size_bytes, config, chip_seed,
+                      array_id)
+    {}
+};
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_SRAM_MEMORY_ARRAY_HH

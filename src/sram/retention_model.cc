@@ -1,0 +1,93 @@
+#include "sram/retention_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace voltboot
+{
+
+RetentionConfig
+RetentionConfig::sram6t()
+{
+    return RetentionConfig{};
+}
+
+RetentionConfig
+RetentionConfig::dram()
+{
+    RetentionConfig c;
+    // DRAM has no DRV in the SRAM sense: refresh keeps it alive, and what
+    // matters to cold boot is the capacitor decay constant. We keep a DRV
+    // channel anyway (sense-amp margin) but set it very low.
+    c.drv_mean = Volt::millivolts(80);
+    c.drv_sigma = Volt::millivolts(15);
+    c.drv_min = Volt::millivolts(20);
+    c.drv_max = Volt::millivolts(200);
+    // Median capacitor retention ~1.5 s at 25 degC, Ea ~ 0.55 eV. At
+    // -50 degC the median reaches tens of minutes, matching the classic
+    // cold boot observation that chilled modules survive minute-scale
+    // transplants with <0.1% decay.
+    c.log_median_retention_ref = 0.405;
+    c.retention_sigma_ln = 1.2;
+    c.arrhenius_kelvin = 6382.0;
+    c.metastable_fraction = 0.02;
+    return c;
+}
+
+CellParams
+RetentionModel::cellParams(uint64_t cell) const
+{
+    CellParams p;
+    const double z_drv = rng_.gaussian(cell, ChannelDrv);
+    const double raw_drv =
+        config_.drv_mean.volts() + config_.drv_sigma.volts() * z_drv;
+    p.drv = Volt(std::clamp(raw_drv, config_.drv_min.volts(),
+                            config_.drv_max.volts()));
+    p.retention_z = rng_.gaussian(cell, ChannelRetention);
+    p.power_up_bit = rng_.bits(cell, ChannelPowerUp) & 1;
+    p.metastable =
+        rng_.uniform(cell, ChannelStability) < config_.metastable_fraction;
+    return p;
+}
+
+double
+RetentionModel::logMedianRetention(Temperature t) const
+{
+    const double inv_t = 1.0 / t.kelvins();
+    const double inv_ref = 1.0 / config_.ref_temperature.kelvins();
+    return config_.log_median_retention_ref +
+           config_.arrhenius_kelvin * (inv_t - inv_ref);
+}
+
+Seconds
+RetentionModel::retentionTime(const CellParams &p, Temperature t) const
+{
+    const double log_r =
+        logMedianRetention(t) + config_.retention_sigma_ln * p.retention_z;
+    return Seconds(std::exp(log_r));
+}
+
+namespace
+{
+
+/** Standard normal CDF. */
+double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+} // namespace
+
+double
+RetentionModel::expectedSurvival(Seconds off_time, Temperature t) const
+{
+    if (off_time.seconds() <= 0.0)
+        return 1.0;
+    // P(R > off) where ln R ~ N(logMedian(t), sigma^2).
+    const double z = (std::log(off_time.seconds()) - logMedianRetention(t)) /
+                     config_.retention_sigma_ln;
+    return 1.0 - normalCdf(z);
+}
+
+} // namespace voltboot

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Physical retention model for simulated SRAM/DRAM cells.
+ *
+ * The model captures the three phenomena the paper's attack and its
+ * baselines hinge on:
+ *
+ *  1. Data retention voltage (DRV): a powered cell keeps its bit iff its
+ *     supply stays at or above a per-cell DRV drawn from process variation
+ *     (Holcomb et al., "DRV-fingerprinting"). This is what lets Volt Boot
+ *     retain data with an external probe, and what loses bits when a weak
+ *     probe droops during the power-cycle current surge.
+ *
+ *  2. Unpowered decay: with the supply removed, a cell's state survives for
+ *     a per-cell retention time that shrinks exponentially with
+ *     temperature (Arrhenius). Retention times are lognormal across cells,
+ *     producing the smooth retention-vs-time curves in the SRAM remanence
+ *     literature (~80% retention at -110 degC for 20 ms, ~0% at -40 degC).
+ *     DRAM uses the same law with a vastly larger time constant, which is
+ *     why classic cold boot works on DRAM and fails on SRAM.
+ *
+ *  3. Power-up state: a cell that lost its charge resolves to a
+ *     process-determined power-up bit; most cells are strongly skewed
+ *     (stable fingerprint / PUF behaviour) while a metastable fraction
+ *     powers up randomly each time.
+ */
+
+#ifndef VOLTBOOT_SRAM_RETENTION_MODEL_HH
+#define VOLTBOOT_SRAM_RETENTION_MODEL_HH
+
+#include <cstdint>
+
+#include "sim/rng.hh"
+#include "sim/units.hh"
+
+namespace voltboot
+{
+
+/** Physical parameters of a single simulated memory cell. */
+struct CellParams
+{
+    /** Minimum supply voltage at which the cell keeps its state. */
+    Volt drv;
+    /**
+     * Standard-normal deviate scaling this cell's retention time within
+     * the array's lognormal distribution.
+     */
+    double retention_z;
+    /** The bit this cell resolves to after losing its state. */
+    bool power_up_bit;
+    /** True if the cell powers up randomly instead of to power_up_bit. */
+    bool metastable;
+};
+
+/** Distribution/calibration constants for a cell technology. */
+struct RetentionConfig
+{
+    /** Mean data retention voltage across cells. */
+    Volt drv_mean = Volt::millivolts(250);
+    /** Process-variation sigma of the DRV. */
+    Volt drv_sigma = Volt::millivolts(35);
+    /** Hard physical bounds on the DRV. */
+    Volt drv_min = Volt::millivolts(50);
+    Volt drv_max = Volt::millivolts(550);
+
+    /**
+     * Natural log of the median unpowered retention time (seconds) at
+     * ref_temperature. SRAM default calibrates to ~1.5 us at 25 degC.
+     */
+    double log_median_retention_ref = -13.42;
+    /** Lognormal sigma of retention time across cells. */
+    double retention_sigma_ln = 1.0;
+    /**
+     * Arrhenius activation temperature Ea / k_B in kelvin. 3731 K
+     * corresponds to Ea ~ 0.32 eV, calibrated so the SRAM anchors
+     * (80% @ -110 degC / 20 ms, ~0% @ -40 degC / 2 ms) hold.
+     */
+    double arrhenius_kelvin = 3731.0;
+    /** Reference temperature for log_median_retention_ref. */
+    Temperature ref_temperature = Temperature::celsius(25.0);
+
+    /**
+     * Fraction of cells whose power-up state is metastable. Metastable
+     * cells are not fair coins: each has a per-cell bias drawn uniformly
+     * from [metastable_bias_min, metastable_bias_max], which is what
+     * makes majority-vote PUF enrollment effective. The fraction is
+     * calibrated so the fractional Hamming distance between two
+     * power-ups of the same array is ~0.10 — the figure the paper's
+     * Table 1 reports for cache content after a power cycle vs the
+     * cache's startup state.
+     */
+    double metastable_fraction = 0.27;
+    double metastable_bias_min = 0.05;
+    double metastable_bias_max = 0.95;
+
+    /** Technology defaults. */
+    static RetentionConfig sram6t();
+    static RetentionConfig dram();
+};
+
+/**
+ * Evaluates cell survival under voltage and temperature stress.
+ *
+ * All randomness comes from a CellRng keyed by (chip seed, array id), so a
+ * given simulated chip behaves like one physical piece of silicon: the same
+ * cells are weak on every run.
+ */
+class RetentionModel
+{
+  public:
+    RetentionModel(const RetentionConfig &config, const CellRng &rng)
+        : config_(config), rng_(rng)
+    {}
+
+    /** Per-cell parameter channels in the CellRng hash space. */
+    enum Channel : uint64_t
+    {
+        ChannelDrv = 1,
+        ChannelRetention = 2,
+        ChannelPowerUp = 3,
+        ChannelStability = 4,
+        ChannelMetastableDraw = 5,
+        ChannelMetastableBias = 6,
+    };
+
+    /** Derive the physical parameters of cell @p cell. */
+    CellParams cellParams(uint64_t cell) const;
+
+    /**
+     * Natural log of the median retention time at temperature @p t,
+     * Arrhenius-scaled from the reference point.
+     */
+    double logMedianRetention(Temperature t) const;
+
+    /**
+     * Per-cell unpowered retention time at temperature @p t: lognormal
+     * around the Arrhenius-scaled median.
+     */
+    Seconds retentionTime(const CellParams &p, Temperature t) const;
+
+    /**
+     * Does this cell keep its state across an unpowered interval of
+     * @p off_time at temperature @p t?
+     */
+    bool
+    survivesUnpowered(const CellParams &p, Seconds off_time,
+                      Temperature t) const
+    {
+        return off_time < retentionTime(p, t);
+    }
+
+    /** Does this cell keep its state at supply voltage @p v? */
+    bool
+    survivesAtVoltage(const CellParams &p, Volt v) const
+    {
+        return v >= p.drv;
+    }
+
+    /**
+     * The state the cell resolves to when it has lost its data.
+     * @p nonce distinguishes successive power-ups so metastable cells
+     * draw a fresh value each time.
+     */
+    bool
+    powerUpState(uint64_t cell, const CellParams &p, uint64_t nonce) const
+    {
+        if (p.metastable)
+            return metastableDraw(cell, nonce);
+        return p.power_up_bit;
+    }
+
+    /** One power-up draw of a metastable cell at its per-cell bias. */
+    bool
+    metastableDraw(uint64_t cell, uint64_t nonce) const
+    {
+        const double theta =
+            config_.metastable_bias_min +
+            rng_.uniform(cell, ChannelMetastableBias) *
+                (config_.metastable_bias_max -
+                 config_.metastable_bias_min);
+        const double u =
+            rng_.uniform(hashCombine(cell, nonce), ChannelMetastableDraw);
+        return u < theta;
+    }
+
+    /**
+     * Expected probability that a metastable cell's draw differs across
+     * two power-ups: 2 E[theta (1 - theta)] for the uniform bias.
+     * Array-level power-up noise = metastable_fraction * this.
+     */
+    double
+    expectedMetastableFlipRate() const
+    {
+        const double a = config_.metastable_bias_min;
+        const double b = config_.metastable_bias_max;
+        const double mean = (a + b) / 2.0;
+        const double mean_sq = (a * a + a * b + b * b) / 3.0;
+        return 2.0 * (mean - mean_sq);
+    }
+
+    /**
+     * Expected fraction of cells (array-level) that survive an unpowered
+     * interval — the closed-form lognormal survival function, used by
+     * tests to validate the Monte Carlo behaviour and by benches to print
+     * smooth curves.
+     */
+    double expectedSurvival(Seconds off_time, Temperature t) const;
+
+    const RetentionConfig &config() const { return config_; }
+    const CellRng &rng() const { return rng_; }
+
+  private:
+    RetentionConfig config_;
+    CellRng rng_;
+};
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_SRAM_RETENTION_MODEL_HH

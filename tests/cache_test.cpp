@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Tests for the cache model: geometry, hit/miss/eviction behaviour, LRU,
+ * write-back, maintenance semantics (the Section 5.2.4 properties),
+ * locking, TrustZone bits, and the debug (RAMINDEX) view.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/memory_system.hh"
+#include "sim/logging.hh"
+#include "sram/memory_array.hh"
+
+namespace voltboot
+{
+namespace
+{
+
+/** A cache + SRAM backing + flat memory, ready to use. */
+class CacheHarness
+{
+  public:
+    explicit CacheHarness(CacheGeometry geom = CacheGeometry{4096, 2, 64})
+        : geom_(geom),
+          data_("data", geom.size_bytes, 1, 50),
+          tags_("tags", Cache::tagRamBytes(geom), 1, 51),
+          backing_store_("mem", 1 << 20, 1, 52),
+          region_(backing_store_, 0),
+          cache_("L1D", geom, data_, tags_, &region_)
+    {
+        data_.powerUp(Volt(0.8));
+        tags_.powerUp(Volt(0.8));
+        backing_store_.powerUp(Volt(1.1));
+        // Boot procedure: invalidate garbage tags, then enable.
+        cache_.invalidateAll();
+        cache_.setEnabled(true);
+    }
+
+    CacheGeometry geom_;
+    SramArray data_, tags_;
+    DramArray backing_store_;
+    MemoryRegion region_;
+    Cache cache_;
+};
+
+TEST(CacheGeometry, SetsComputation)
+{
+    const CacheGeometry g{32 * 1024, 2, 64};
+    EXPECT_EQ(g.sets(), 256u);
+    EXPECT_EQ(Cache::tagRamBytes(g), 256u * 2 * 8);
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    SramArray d("d", 4096, 1, 1), t("t", 1024, 1, 2);
+    d.powerUp(Volt(0.8));
+    t.powerUp(Volt(0.8));
+    EXPECT_THROW(Cache("c", CacheGeometry{4096, 0, 64}, d, t, nullptr),
+                 FatalError);
+    EXPECT_THROW(Cache("c", CacheGeometry{4096, 2, 7}, d, t, nullptr),
+                 FatalError);
+    EXPECT_THROW(Cache("c", CacheGeometry{5000, 2, 64}, d, t, nullptr),
+                 FatalError);
+}
+
+TEST(Cache, ReadMissFillsFromBacking)
+{
+    CacheHarness h;
+    h.backing_store_.writeWord64(0x100, 0xfeedface12345678ull);
+    EXPECT_EQ(h.cache_.read64(0x100, true), 0xfeedface12345678ull);
+    EXPECT_EQ(h.cache_.stats().misses, 1u);
+    // Second read hits.
+    EXPECT_EQ(h.cache_.read64(0x100, true), 0xfeedface12345678ull);
+    EXPECT_EQ(h.cache_.stats().hits, 1u);
+    EXPECT_TRUE(h.cache_.probeHit(0x100));
+}
+
+TEST(Cache, WriteBackOnlyReachesMemoryOnEviction)
+{
+    CacheHarness h;
+    h.cache_.write64(0x200, 0xaaaaaaaaaaaaaaaaull, true);
+    // Dirty in cache; memory still has its old (power-up) value.
+    EXPECT_NE(h.backing_store_.readWord64(0x200), 0xaaaaaaaaaaaaaaaaull);
+    // Force eviction: touch two more lines mapping to the same set.
+    const uint64_t set_stride = h.geom_.sets() * h.geom_.line_bytes;
+    h.cache_.read64(0x200 + set_stride, true);
+    h.cache_.read64(0x200 + 2 * set_stride, true);
+    h.cache_.read64(0x200 + 3 * set_stride, true);
+    EXPECT_EQ(h.backing_store_.readWord64(0x200), 0xaaaaaaaaaaaaaaaaull);
+    EXPECT_GE(h.cache_.stats().writebacks, 1u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    CacheHarness h; // 2 ways
+    const uint64_t stride = h.geom_.sets() * h.geom_.line_bytes;
+    h.cache_.read64(0x0, true);          // way A
+    h.cache_.read64(stride, true);       // way B
+    h.cache_.read64(0x0, true);          // touch A (B now LRU)
+    h.cache_.read64(2 * stride, true);   // evicts B
+    EXPECT_TRUE(h.cache_.probeHit(0x0));
+    EXPECT_FALSE(h.cache_.probeHit(stride));
+    EXPECT_TRUE(h.cache_.probeHit(2 * stride));
+}
+
+TEST(Cache, ByteAccessesComposeWithWords)
+{
+    CacheHarness h;
+    h.cache_.write64(0x300, 0, true);
+    h.cache_.write8(0x301, 0xAB, true);
+    h.cache_.write8(0x307, 0xCD, true);
+    EXPECT_EQ(h.cache_.read64(0x300, true), 0xCD0000000000AB00ull);
+    EXPECT_EQ(h.cache_.read8(0x301, true), 0xABu);
+}
+
+TEST(Cache, UnalignedWordAccessPanics)
+{
+    CacheHarness h;
+    EXPECT_THROW(h.cache_.read64(0x301, true), PanicError);
+    EXPECT_THROW(h.cache_.write64(0x303, 0, true), PanicError);
+}
+
+TEST(Cache, InvalidateAllClearsTagsNotData)
+{
+    CacheHarness h;
+    h.cache_.write64(0x400, 0x5a5a5a5a5a5a5a5aull, true);
+    // Find which way holds it via the debug tag view.
+    const size_t set = (0x400 / 64) % h.geom_.sets();
+    h.cache_.invalidateAll();
+    EXPECT_FALSE(h.cache_.probeHit(0x400));
+    // Section 5.2.4: "the data remains unchanged" — the word is still
+    // in the data RAM of one of the ways.
+    bool found = false;
+    for (size_t way = 0; way < h.geom_.ways && !found; ++way)
+        found = h.cache_.debugReadDataWord(way, set, 0) ==
+                0x5a5a5a5a5a5a5a5aull;
+    EXPECT_TRUE(found);
+}
+
+TEST(Cache, CleanInvalidateWritesBackFirst)
+{
+    CacheHarness h;
+    h.cache_.write64(0x500, 0x1111222233334444ull, true);
+    h.cache_.cleanInvalidate(0x500);
+    EXPECT_FALSE(h.cache_.probeHit(0x500));
+    EXPECT_EQ(h.backing_store_.readWord64(0x500),
+              0x1111222233334444ull);
+}
+
+TEST(Cache, DcZvaIsTheOnlySoftwareErasePath)
+{
+    CacheHarness h;
+    h.cache_.write64(0x600, 0x9999999999999999ull, true);
+    const size_t set = (0x600 / 64) % h.geom_.sets();
+    h.cache_.zeroLine(0x600);
+    EXPECT_EQ(h.cache_.read64(0x600, true), 0u);
+    // The data RAM itself now holds zeros in the resident way.
+    bool zeroed = false;
+    for (size_t way = 0; way < h.geom_.ways && !zeroed; ++way)
+        zeroed = h.cache_.debugReadDataWord(way, set, 0) == 0;
+    EXPECT_TRUE(zeroed);
+}
+
+TEST(Cache, CleanAllFlushesEveryDirtyLine)
+{
+    CacheHarness h;
+    for (uint64_t a = 0; a < 1024; a += 64)
+        h.cache_.write64(a, 0xD0D0000000000000ull | a, true);
+    h.cache_.cleanAll();
+    for (uint64_t a = 0; a < 1024; a += 64)
+        EXPECT_EQ(h.backing_store_.readWord64(a),
+                  0xD0D0000000000000ull | a);
+    // Lines stay resident after a clean (no invalidate).
+    EXPECT_TRUE(h.cache_.probeHit(0));
+}
+
+TEST(Cache, LockedLinesAreNeverEvicted)
+{
+    CacheHarness h; // 2 ways
+    const uint64_t stride = h.geom_.sets() * h.geom_.line_bytes;
+    h.cache_.write64(0x0, 0xCAFEull, true);
+    h.cache_.lockLine(0x0);
+    // Hammer the set with conflicting lines.
+    for (int i = 1; i <= 8; ++i)
+        h.cache_.read64(i * stride, true);
+    EXPECT_TRUE(h.cache_.probeHit(0x0));
+    EXPECT_EQ(h.cache_.read64(0x0, true), 0xCAFEull);
+}
+
+TEST(Cache, FullyLockedSetRejectsAllocation)
+{
+    CacheHarness h; // 2 ways
+    const uint64_t stride = h.geom_.sets() * h.geom_.line_bytes;
+    h.cache_.write64(0x0, 1, true);
+    h.cache_.lockLine(0x0);
+    h.cache_.write64(stride, 2, true);
+    h.cache_.lockLine(stride);
+    EXPECT_THROW(h.cache_.read64(2 * stride, true), FatalError);
+    h.cache_.unlockAll();
+    EXPECT_EQ(h.cache_.read64(2 * stride, true),
+              h.backing_store_.readWord64(2 * stride));
+}
+
+TEST(Cache, LockLineRequiresResidency)
+{
+    CacheHarness h;
+    EXPECT_THROW(h.cache_.lockLine(0x7000), FatalError);
+}
+
+TEST(Cache, DisabledCachePassesThrough)
+{
+    CacheHarness h;
+    h.cache_.setEnabled(false);
+    h.cache_.write64(0x700, 0x77ull, true);
+    // Straight to memory, nothing cached.
+    EXPECT_EQ(h.backing_store_.readWord64(0x700), 0x77ull);
+    EXPECT_FALSE(h.cache_.probeHit(0x700));
+    EXPECT_EQ(h.cache_.read64(0x700, true), 0x77ull);
+    EXPECT_EQ(h.cache_.stats().misses, 0u);
+}
+
+TEST(Cache, DebugViewIgnoresValidBits)
+{
+    CacheHarness h;
+    h.cache_.write64(0x800, 0xABCDull, true);
+    h.cache_.invalidateAll();
+    const size_t set = (0x800 / 64) % h.geom_.sets();
+    bool found = false;
+    for (size_t way = 0; way < h.geom_.ways && !found; ++way)
+        found = h.cache_.debugReadDataWord(way, set, 0) == 0xABCDull;
+    EXPECT_TRUE(found) << "RAMINDEX must see invalidated lines";
+}
+
+TEST(Cache, DebugReadOutOfRangePanics)
+{
+    CacheHarness h;
+    EXPECT_THROW(h.cache_.debugReadDataWord(9, 0, 0), PanicError);
+    EXPECT_THROW(h.cache_.debugReadDataWord(0, 1 << 20, 0), PanicError);
+    EXPECT_THROW(h.cache_.debugReadTagEntry(0, 1 << 20), PanicError);
+}
+
+TEST(Cache, TrustZoneBlocksSecureLinesOnDebugRead)
+{
+    CacheHarness h;
+    h.cache_.write64(0x900, 0x5EC12E7ull, true); // secure access
+    h.cache_.write64(0xA00, 0x0FE2ull, false);   // non-secure access
+    const size_t set_s = (0x900 / 64) % h.geom_.sets();
+    const size_t set_ns = (0xA00 / 64) % h.geom_.sets();
+
+    bool violation = false;
+    bool secure_readable = false, ns_readable = false;
+    for (size_t way = 0; way < h.geom_.ways; ++way) {
+        if (h.cache_.debugReadDataWord(way, set_s, 0, true, &violation) ==
+            0x5EC12E7ull)
+            secure_readable = true;
+        if (h.cache_.debugReadDataWord(way, set_ns, 0, true) == 0x0FE2ull)
+            ns_readable = true;
+    }
+    EXPECT_FALSE(secure_readable);
+    EXPECT_TRUE(violation);
+    EXPECT_TRUE(ns_readable);
+    // Without enforcement, everything reads.
+    bool open_readable = false;
+    for (size_t way = 0; way < h.geom_.ways; ++way)
+        if (h.cache_.debugReadDataWord(way, set_s, 0, false) ==
+            0x5EC12E7ull)
+            open_readable = true;
+    EXPECT_TRUE(open_readable);
+}
+
+TEST(Cache, DumpWayHasWayMajorLayout)
+{
+    CacheHarness h;
+    h.cache_.write64(0x0, 0x1ull, true);
+    const MemoryImage way0 = h.cache_.dumpWay(0);
+    EXPECT_EQ(way0.sizeBytes(), h.geom_.sets() * h.geom_.line_bytes);
+    const MemoryImage all = h.cache_.dumpAll();
+    EXPECT_EQ(all.sizeBytes(), h.geom_.size_bytes);
+}
+
+TEST(Cache, StatsTrackEvictions)
+{
+    CacheHarness h;
+    const uint64_t stride = h.geom_.sets() * h.geom_.line_bytes;
+    for (int i = 0; i < 4; ++i)
+        h.cache_.read64(i * stride, true);
+    EXPECT_EQ(h.cache_.stats().misses, 4u);
+    EXPECT_EQ(h.cache_.stats().evictions, 2u); // 2-way set overflows twice
+    h.cache_.clearStats();
+    EXPECT_EQ(h.cache_.stats().misses, 0u);
+}
+
+TEST(Cache, RoundRobinCyclesThroughWays)
+{
+    CacheHarness h(CacheGeometry{4096, 2, 64, ReplacementPolicy::RoundRobin});
+    const uint64_t stride = h.geom_.sets() * h.geom_.line_bytes;
+    h.cache_.read64(0 * stride, true); // way 0 (invalid-first)
+    h.cache_.read64(1 * stride, true); // way 1
+    h.cache_.read64(2 * stride, true); // evicts way 0
+    EXPECT_FALSE(h.cache_.probeHit(0 * stride));
+    EXPECT_TRUE(h.cache_.probeHit(1 * stride));
+    h.cache_.read64(3 * stride, true); // evicts way 1
+    EXPECT_FALSE(h.cache_.probeHit(1 * stride));
+    EXPECT_TRUE(h.cache_.probeHit(2 * stride));
+}
+
+TEST(Cache, RandomPolicyIsDeterministicPerInstance)
+{
+    auto run = [] {
+        CacheHarness h(
+            CacheGeometry{4096, 4, 64, ReplacementPolicy::Random});
+        const uint64_t stride = h.geom_.sets() * h.geom_.line_bytes;
+        std::vector<bool> alive;
+        for (int i = 0; i < 12; ++i)
+            h.cache_.read64(i * stride, true);
+        for (int i = 0; i < 12; ++i)
+            alive.push_back(h.cache_.probeHit(i * stride));
+        return alive;
+    };
+    EXPECT_EQ(run(), run()); // same LFSR seed, same evictions
+    // Exactly 4 survivors in the 4-way set.
+    const auto alive = run();
+    EXPECT_EQ(std::count(alive.begin(), alive.end(), true), 4);
+}
+
+TEST(Cache, RandomPolicyRespectsLocks)
+{
+    CacheHarness h(CacheGeometry{4096, 2, 64, ReplacementPolicy::Random});
+    const uint64_t stride = h.geom_.sets() * h.geom_.line_bytes;
+    h.cache_.write64(0, 0xCAFE, true);
+    h.cache_.lockLine(0);
+    for (int i = 1; i <= 16; ++i)
+        h.cache_.read64(i * stride, true);
+    EXPECT_TRUE(h.cache_.probeHit(0));
+    EXPECT_EQ(h.cache_.read64(0, true), 0xCAFEull);
+}
+
+TEST(Cache, DebugScrambleModelsUndocumentedBitOrder)
+{
+    CacheHarness h;
+    h.cache_.write64(0xB00, 0x123456789ABCDEF0ull, true);
+    const size_t set = (0xB00 / 64) % h.geom_.sets();
+
+    // Find the resident way with the documented order first.
+    size_t way = SIZE_MAX;
+    for (size_t w = 0; w < h.geom_.ways; ++w)
+        if (h.cache_.debugReadDataWord(w, set, 0) ==
+            0x123456789ABCDEF0ull)
+            way = w;
+    ASSERT_NE(way, SIZE_MAX);
+
+    h.cache_.setDebugScramble(0x2837);
+    EXPECT_TRUE(h.cache_.debugScrambled());
+    const uint64_t scrambled = h.cache_.debugReadDataWord(way, set, 0);
+    // A permutation: different bit order, same popcount, and stable.
+    EXPECT_NE(scrambled, 0x123456789ABCDEF0ull);
+    EXPECT_EQ(std::popcount(scrambled),
+              std::popcount(0x123456789ABCDEF0ull));
+    EXPECT_EQ(h.cache_.debugReadDataWord(way, set, 0), scrambled);
+
+    // The CPU-side read path is unaffected (only the debug view is
+    // physically interleaved).
+    EXPECT_EQ(h.cache_.read64(0xB00, true), 0x123456789ABCDEF0ull);
+
+    h.cache_.setDebugScramble(0);
+    EXPECT_EQ(h.cache_.debugReadDataWord(way, set, 0),
+              0x123456789ABCDEF0ull);
+}
+
+// --- RamIndexDescriptor ---
+
+TEST(RamIndexDescriptor, EncodeDecodeRoundTrip)
+{
+    for (unsigned ram : {0u, 1u, 2u, 3u}) {
+        for (size_t way : {0u, 1u, 3u}) {
+            for (size_t set : {0u, 255u, 4095u}) {
+                for (size_t word : {0u, 7u}) {
+                    const RamIndexDescriptor d{ram, way, set, word};
+                    const RamIndexDescriptor back =
+                        RamIndexDescriptor::decode(d.encode());
+                    EXPECT_EQ(back.ram_id, ram);
+                    EXPECT_EQ(back.way, way);
+                    EXPECT_EQ(back.set, set);
+                    EXPECT_EQ(back.word, word);
+                }
+            }
+        }
+    }
+}
+
+// --- Geometry sweep: fills work at every shape ---
+
+class CacheShapeSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>>
+{
+};
+
+TEST_P(CacheShapeSweep, FillReadBackEverywhere)
+{
+    const auto [size, ways, line] = GetParam();
+    CacheHarness h(CacheGeometry{size, ways, line});
+    // Write a distinct word to the first word of each line of a region
+    // the size of the cache, then read everything back.
+    for (uint64_t a = 0; a < size; a += line)
+        h.cache_.write64(a, 0xF00D000000000000ull | a, true);
+    for (uint64_t a = 0; a < size; a += line)
+        ASSERT_EQ(h.cache_.read64(a, true), 0xF00D000000000000ull | a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheShapeSweep,
+    ::testing::Values(std::make_tuple(4096, 1, 64),
+                      std::make_tuple(4096, 2, 64),
+                      std::make_tuple(8192, 4, 64),
+                      std::make_tuple(16384, 2, 32),
+                      std::make_tuple(32768, 2, 64),
+                      std::make_tuple(32768, 4, 128),
+                      std::make_tuple(49152, 3, 64)));
+
+} // namespace
+} // namespace voltboot

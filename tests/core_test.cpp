@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the core analysis helpers and the Section 8 countermeasure
+ * survey.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/analysis.hh"
+#include "core/countermeasures.hh"
+#include "sim/logging.hh"
+#include "soc/soc_config.hh"
+
+namespace voltboot
+{
+namespace
+{
+
+TEST(Analysis, CompareImagesCountsBitErrors)
+{
+    const MemoryImage a({0xFF, 0x00, 0xF0});
+    const MemoryImage b({0xFF, 0x0F, 0xF0});
+    const RetentionReport r = compareImages(a, b);
+    EXPECT_EQ(r.total_bits, 24u);
+    EXPECT_EQ(r.error_bits, 4u);
+    EXPECT_NEAR(r.errorFraction(), 4.0 / 24.0, 1e-12);
+    EXPECT_NEAR(r.accuracy(), 20.0 / 24.0, 1e-12);
+}
+
+TEST(Analysis, RecoverElementsPerWayAndUnion)
+{
+    const uint64_t e1 = 0x0101010101010101ull;
+    const uint64_t e2 = 0x0202020202020202ull;
+    const uint64_t e3 = 0x0303030303030303ull;
+
+    std::vector<uint8_t> w0(64, 0), w1(64, 0);
+    std::memcpy(w0.data(), &e1, 8);      // e1 only in way 0
+    std::memcpy(w1.data() + 8, &e2, 8);  // e2 only in way 1
+    std::memcpy(w0.data() + 16, &e3, 8); // e3 in both
+    std::memcpy(w1.data() + 24, &e3, 8);
+
+    const std::vector<MemoryImage> ways{MemoryImage(w0), MemoryImage(w1)};
+    const std::vector<uint64_t> elements{e1, e2, e3,
+                                         0x0404040404040404ull};
+    const ElementRecovery er = recoverElements(ways, elements);
+    EXPECT_EQ(er.total, 4u);
+    EXPECT_EQ(er.per_way[0], 2u);
+    EXPECT_EQ(er.per_way[1], 2u);
+    EXPECT_EQ(er.in_union, 3u);
+    EXPECT_DOUBLE_EQ(er.fractionRecovered(), 0.75);
+}
+
+TEST(Analysis, TextTableRendersAligned)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+    EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(Analysis, TextTableFormatters)
+{
+    EXPECT_EQ(TextTable::pct(0.91634), "91.63%");
+    EXPECT_EQ(TextTable::pct(1.0, 1), "100.0%");
+    EXPECT_EQ(TextTable::num(373.04), "373.0");
+    EXPECT_EQ(TextTable::hex(0xF8000000ull), "0xF8000000");
+}
+
+TEST(Analysis, ReconstructTagRamDecodesEntries)
+{
+    // Build a tag dump by hand for a 2-way, 4-set, 64B-line cache.
+    const CacheGeometry geom{2 * 4 * 64, 2, 64};
+    std::vector<uint8_t> dump(2 * 4 * 8, 0);
+    auto put = [&](size_t way, size_t set, uint64_t entry) {
+        for (int b = 0; b < 8; ++b)
+            dump[(way * 4 + set) * 8 + b] =
+                static_cast<uint8_t>(entry >> (8 * b));
+    };
+    // addr 0x1040 -> offset 0x00, set 1, tag 0x10. Valid+dirty.
+    put(0, 1, 0x10 | Cache::kFlagValid | Cache::kFlagDirty);
+    // addr 0x2080 -> set 2, tag 0x20. Valid+locked, non-secure.
+    put(1, 2, 0x20 | Cache::kFlagValid | Cache::kFlagLocked |
+                  Cache::kFlagNonSecure);
+    // An invalid entry with garbage tag.
+    put(1, 3, 0x3F);
+
+    const auto lines = reconstructTagRam(MemoryImage(dump), geom);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0].phys_addr, (0x10ull << 8) | (1u << 6));
+    EXPECT_TRUE(lines[0].dirty);
+    EXPECT_TRUE(lines[0].secure);
+    EXPECT_EQ(lines[1].phys_addr, (0x20ull << 8) | (2u << 6));
+    EXPECT_TRUE(lines[1].locked);
+    EXPECT_FALSE(lines[1].secure);
+
+    const auto all =
+        reconstructTagRam(MemoryImage(dump), geom, true);
+    EXPECT_EQ(all.size(), 8u);
+}
+
+TEST(Analysis, LineContentIndexesWayMajorDumps)
+{
+    const CacheGeometry geom{2 * 4 * 64, 2, 64};
+    std::vector<uint8_t> data(geom.size_bytes, 0);
+    // way 1, set 2 in way-major layout starts at (1*4+2)*64.
+    data[(1 * 4 + 2) * 64 + 5] = 0xAB;
+    CachedLineInfo line;
+    line.way = 1;
+    line.set = 2;
+    const MemoryImage content =
+        lineContent(line, MemoryImage(data), geom);
+    EXPECT_EQ(content.sizeBytes(), 64u);
+    EXPECT_EQ(content.byteAt(5), 0xAB);
+}
+
+TEST(Countermeasures, ApplyTogglesTheRightKnobs)
+{
+    const SocConfig base = SocConfig::bcm2711();
+    EXPECT_TRUE(applyCountermeasure(base, Countermeasure::BootSramReset)
+                    .boot_sram_reset);
+    EXPECT_TRUE(applyCountermeasure(base, Countermeasure::TrustZone)
+                    .trustzone_enforced);
+    EXPECT_TRUE(
+        applyCountermeasure(base, Countermeasure::AuthenticatedBoot)
+            .authenticated_boot);
+    const SocConfig merged = applyCountermeasure(
+        base, Countermeasure::EliminateDomainSeparation);
+    EXPECT_TRUE(merged.attack_pad.empty());
+}
+
+TEST(Countermeasures, BaselineAttackSucceeds)
+{
+    const CountermeasureResult r = evaluateCountermeasure(
+        SocConfig::bcm2711(), Countermeasure::None);
+    EXPECT_TRUE(r.attack_succeeded);
+    EXPECT_GT(r.recovered_fraction, 0.999);
+}
+
+TEST(Countermeasures, PurgeOnShutdownFailsAgainstAbruptCut)
+{
+    // The purge hook never runs when the attacker pulls the plug.
+    const CountermeasureResult r = evaluateCountermeasure(
+        SocConfig::bcm2711(), Countermeasure::PurgeOnShutdown,
+        /*orderly_shutdown=*/false);
+    EXPECT_TRUE(r.attack_succeeded);
+}
+
+TEST(Countermeasures, PurgeOnShutdownWorksWhenOrderly)
+{
+    const CountermeasureResult r = evaluateCountermeasure(
+        SocConfig::bcm2711(), Countermeasure::PurgeOnShutdown,
+        /*orderly_shutdown=*/true);
+    EXPECT_FALSE(r.attack_succeeded);
+}
+
+TEST(Countermeasures, BootSramResetDefeatsTheAttack)
+{
+    const CountermeasureResult r = evaluateCountermeasure(
+        SocConfig::bcm2711(), Countermeasure::BootSramReset);
+    EXPECT_FALSE(r.attack_succeeded);
+    EXPECT_LT(r.recovered_fraction, 0.9);
+}
+
+TEST(Countermeasures, TrustZoneBlocksSecureLines)
+{
+    const CountermeasureResult r = evaluateCountermeasure(
+        SocConfig::bcm2711(), Countermeasure::TrustZone);
+    EXPECT_FALSE(r.attack_succeeded);
+}
+
+TEST(Countermeasures, AuthenticatedBootBlocksReboot)
+{
+    const CountermeasureResult r = evaluateCountermeasure(
+        SocConfig::bcm2711(), Countermeasure::AuthenticatedBoot);
+    EXPECT_FALSE(r.attack_succeeded);
+    EXPECT_NE(r.notes.find("authenticated"), std::string::npos);
+}
+
+TEST(Countermeasures, MergedDomainsLeaveNothingToProbe)
+{
+    const CountermeasureResult r = evaluateCountermeasure(
+        SocConfig::bcm2711(), Countermeasure::EliminateDomainSeparation);
+    EXPECT_FALSE(r.attack_succeeded);
+}
+
+TEST(Countermeasures, SurveyCoversAllDefences)
+{
+    const auto rows = surveyCountermeasures(SocConfig::bcm2711());
+    ASSERT_EQ(rows.size(), 6u);
+    // Only the no-defence and the purge-against-plug-pull rows succeed.
+    int successes = 0;
+    for (const auto &row : rows)
+        successes += row.attack_succeeded;
+    EXPECT_EQ(successes, 2);
+}
+
+} // namespace
+} // namespace voltboot

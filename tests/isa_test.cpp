@@ -1,0 +1,520 @@
+/**
+ * @file
+ * Tests for the vb64 ISA: assembler encoding, disassembler round trips,
+ * interpreter semantics, flags, barriers, privilege checks and the
+ * register-file-in-SRAM wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "isa/assembler.hh"
+#include "isa/cpu.hh"
+#include "isa/insn.hh"
+#include "sim/logging.hh"
+#include "sram/memory_array.hh"
+
+namespace voltboot
+{
+namespace
+{
+
+/** Simple flat memory port for CPU tests (no caches). */
+class FlatPort : public MemoryPort
+{
+  public:
+    explicit FlatPort(size_t size = 1 << 16) : mem_(size, 0) {}
+
+    void
+    load(uint64_t addr, const std::vector<uint8_t> &bytes)
+    {
+        for (size_t i = 0; i < bytes.size(); ++i)
+            mem_.at(addr + i) = bytes[i];
+    }
+
+    uint32_t
+    fetch32(uint64_t addr) override
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(mem_.at(addr + i)) << (8 * i);
+        return v;
+    }
+
+    uint64_t
+    read64(uint64_t addr) override
+    {
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(mem_.at(addr + i)) << (8 * i);
+        return v;
+    }
+
+    void
+    write64(uint64_t addr, uint64_t value) override
+    {
+        for (int i = 0; i < 8; ++i)
+            mem_.at(addr + i) = static_cast<uint8_t>(value >> (8 * i));
+    }
+
+    uint8_t read8(uint64_t addr) override { return mem_.at(addr); }
+    void
+    write8(uint64_t addr, uint8_t value) override
+    {
+        mem_.at(addr) = value;
+    }
+
+    void zeroCacheLine(uint64_t addr) override { zva_calls.push_back(addr); }
+    void
+    cleanInvalidateLine(uint64_t addr) override
+    {
+        civac_calls.push_back(addr);
+    }
+    void invalidateAllICache() override { ++iallu_calls; }
+    uint64_t
+    ramIndexRead(uint64_t descriptor) override
+    {
+        last_descriptor = descriptor;
+        return 0x1234567890abcdefull;
+    }
+    void
+    setCacheEnables(bool d, bool i) override
+    {
+        dcache_on = d;
+        icache_on = i;
+    }
+
+    std::vector<uint8_t> mem_;
+    std::vector<uint64_t> zva_calls, civac_calls;
+    int iallu_calls = 0;
+    uint64_t last_descriptor = 0;
+    bool dcache_on = false, icache_on = false;
+};
+
+/** Harness bundling a CPU with SRAM register files and a flat port. */
+class CpuHarness
+{
+  public:
+    CpuHarness()
+        : xregs("x", 31 * 8, 1, 100), vregs("v", 32 * 16, 1, 101),
+          cpu(0, port, xregs, vregs)
+    {
+        xregs.powerUp(Volt(0.8));
+        vregs.powerUp(Volt(0.8));
+        // Registers power up to garbage; zero them for deterministic
+        // arithmetic tests.
+        xregs.fill(0);
+        vregs.fill(0);
+    }
+
+    /** Assemble, load at 0, run to halt; returns steps. */
+    uint64_t
+    run(const std::string &src, uint64_t max_steps = 100000)
+    {
+        const Program p = Assembler::assemble(src);
+        port.load(0, p.bytes());
+        cpu.reset(0);
+        return cpu.run(max_steps);
+    }
+
+    FlatPort port;
+    SramArray xregs, vregs;
+    Cpu cpu;
+};
+
+TEST(Assembler, EncodesAndDisassemblesEveryMnemonic)
+{
+    const std::string src = R"(
+        nop
+        movz x1, #0x1234
+        movk x1, #0xabcd, lsl #16
+        mov x2, x1
+        add x3, x2, #5
+        sub x3, x3, #1
+        add x4, x3, x2
+        sub x4, x4, x3
+        and x5, x4, x3
+        orr x5, x5, x4
+        eor x5, x5, x5
+        mul x6, x4, x3
+        lsl x6, x6, #3
+        lsr x6, x6, #2
+        ldr x7, [x6, #8]
+        str x7, [x6, #16]
+        ldrb x8, [x6]
+        strb x8, [x6, #1]
+        cmp x7, x8
+        cmp x7, #42
+        subs x9, x7, x8
+        dc zva, x6
+        dc civac, x6
+        ic iallu
+        dsb sy
+        isb
+        ramindex x9, x7
+        mrs x10, currentel
+        mrs x11, sctlr_el1
+        msr sctlr_el1, x11
+        vdup v3, #0xaa
+        vins v3[1], x9
+        vread x12, v3[0]
+        hlt
+    )";
+    const Program p = Assembler::assemble(src);
+    EXPECT_EQ(p.words.size(), 34u);
+    // Every instruction disassembles to something other than .word.
+    for (uint32_t w : p.words)
+        EXPECT_EQ(disassemble(w).rfind(".word", 0), std::string::npos)
+            << disassemble(w);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    const Program p = Assembler::assemble(R"(
+        movz x0, #3
+    loop:
+        sub x0, x0, #1
+        cbnz x0, loop
+        b end
+        nop
+    end:
+        hlt
+    )");
+    EXPECT_EQ(p.words.size(), 6u);
+    // cbnz at word 2 branches to word 1: offset -1.
+    EXPECT_EQ(decode::imm19(p.words[2]), -1);
+    // b at word 3 branches to word 5: offset +2.
+    EXPECT_EQ(decode::imm19(p.words[3]), 2);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const Program p = Assembler::assemble(
+        "// header comment\n\n    nop ; trailing\n    hlt\n");
+    EXPECT_EQ(p.words.size(), 2u);
+}
+
+TEST(Assembler, WordDirectiveAndOrg)
+{
+    const Program p = Assembler::assemble(
+        "    .org 0x2000\n    .word 0xdeadbeef\n    hlt\n");
+    EXPECT_EQ(p.load_address, 0x2000u);
+    EXPECT_EQ(p.words[0], 0xdeadbeefu);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        Assembler::assemble("    nop\n    frobnicate x1\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+    EXPECT_THROW(Assembler::assemble("    movz x1, #0x10000\n"),
+                 FatalError);
+    EXPECT_THROW(Assembler::assemble("    b nowhere\n"), FatalError);
+    EXPECT_THROW(Assembler::assemble("    ldr x1, [x2, #4096]\n"),
+                 FatalError);
+    EXPECT_THROW(Assembler::assemble("    add x31, x0, #1\n"), FatalError);
+}
+
+TEST(Assembler, ProgramBytesAreLittleEndian)
+{
+    const Program p = Assembler::assemble("    .word 0x11223344\n");
+    EXPECT_EQ(p.bytes(),
+              (std::vector<uint8_t>{0x44, 0x33, 0x22, 0x11}));
+}
+
+TEST(Cpu, MovAndArithmetic)
+{
+    CpuHarness h;
+    h.run(R"(
+        movz x1, #100
+        movz x2, #7
+        add x3, x1, x2
+        sub x4, x1, x2
+        mul x5, x1, x2
+        add x6, x1, #23
+        hlt
+    )");
+    EXPECT_EQ(h.cpu.x(3), 107u);
+    EXPECT_EQ(h.cpu.x(4), 93u);
+    EXPECT_EQ(h.cpu.x(5), 700u);
+    EXPECT_EQ(h.cpu.x(6), 123u);
+}
+
+TEST(Cpu, MovzMovkBuild64BitConstants)
+{
+    CpuHarness h;
+    h.run(R"(
+        movz x1, #0x1111
+        movk x1, #0x2222, lsl #16
+        movk x1, #0x3333, lsl #32
+        movk x1, #0x4444, lsl #48
+        hlt
+    )");
+    EXPECT_EQ(h.cpu.x(1), 0x4444333322221111ull);
+}
+
+TEST(Cpu, LogicAndShifts)
+{
+    CpuHarness h;
+    h.run(R"(
+        movz x1, #0xff00
+        movz x2, #0x0ff0
+        and x3, x1, x2
+        orr x4, x1, x2
+        eor x5, x1, x2
+        lsl x6, x1, #4
+        lsr x7, x1, #8
+        hlt
+    )");
+    EXPECT_EQ(h.cpu.x(3), 0x0f00u);
+    EXPECT_EQ(h.cpu.x(4), 0xfff0u);
+    EXPECT_EQ(h.cpu.x(5), 0xf0f0u);
+    EXPECT_EQ(h.cpu.x(6), 0xff000u);
+    EXPECT_EQ(h.cpu.x(7), 0xffu);
+}
+
+TEST(Cpu, XzrReadsZeroAndDiscardsWrites)
+{
+    CpuHarness h;
+    h.run(R"(
+        movz x1, #5
+        add x2, x1, xzr
+        hlt
+    )");
+    EXPECT_EQ(h.cpu.x(2), 5u);
+    EXPECT_EQ(h.cpu.x(kZeroReg), 0u);
+}
+
+TEST(Cpu, LoadsAndStores)
+{
+    CpuHarness h;
+    h.run(R"(
+        movz x1, #0x8000
+        movz x2, #0xbeef
+        str x2, [x1]
+        ldr x3, [x1]
+        strb x2, [x1, #16]
+        ldrb x4, [x1, #16]
+        hlt
+    )");
+    EXPECT_EQ(h.cpu.x(3), 0xbeefu);
+    EXPECT_EQ(h.cpu.x(4), 0xefu);
+}
+
+TEST(Cpu, LoopWithCbnz)
+{
+    CpuHarness h;
+    const uint64_t steps = h.run(R"(
+        movz x1, #10
+        movz x2, #0
+    loop:
+        add x2, x2, #3
+        sub x1, x1, #1
+        cbnz x1, loop
+        hlt
+    )");
+    EXPECT_EQ(h.cpu.x(2), 30u);
+    EXPECT_GT(steps, 30u);
+}
+
+TEST(Cpu, ConditionalBranches)
+{
+    CpuHarness h;
+    h.run(R"(
+        movz x1, #5
+        movz x2, #9
+        cmp x1, x2
+        b.lt less
+        movz x3, #0
+        b end
+    less:
+        movz x3, #1
+    end:
+        hlt
+    )");
+    EXPECT_EQ(h.cpu.x(3), 1u);
+}
+
+TEST(Cpu, SignedComparisonUsesFlagsCorrectly)
+{
+    CpuHarness h;
+    // x1 = -1 (all ones), x2 = 1: signed lt must hold.
+    h.run(R"(
+        movz x1, #0
+        sub x1, x1, #1
+        movz x2, #1
+        cmp x1, x2
+        b.lt ok
+        movz x3, #0
+        b end
+    ok:
+        movz x3, #1
+    end:
+        hlt
+    )");
+    EXPECT_EQ(h.cpu.x(3), 1u);
+}
+
+TEST(Cpu, BlAndRet)
+{
+    CpuHarness h;
+    h.run(R"(
+        movz x1, #1
+        bl func
+        movz x2, #2
+        hlt
+    func:
+        movz x3, #3
+        ret
+    )");
+    EXPECT_EQ(h.cpu.x(1), 1u);
+    EXPECT_EQ(h.cpu.x(2), 2u);
+    EXPECT_EQ(h.cpu.x(3), 3u);
+}
+
+TEST(Cpu, VectorRegisterOps)
+{
+    CpuHarness h;
+    h.run(R"(
+        vdup v5, #0xaa
+        movz x1, #0x1234
+        vins v7[1], x1
+        vread x2, v5[0]
+        vread x3, v7[1]
+        hlt
+    )");
+    EXPECT_EQ(h.cpu.x(2), 0xaaaaaaaaaaaaaaaaull);
+    EXPECT_EQ(h.cpu.x(3), 0x1234u);
+    EXPECT_EQ(h.cpu.v(5, 1), 0xaaaaaaaaaaaaaaaaull);
+}
+
+TEST(Cpu, SystemRegisters)
+{
+    CpuHarness h;
+    h.run(R"(
+        mrs x1, currentel
+        movz x2, #0x1004
+        msr sctlr_el1, x2
+        mrs x3, sctlr_el1
+        mrs x4, coreid
+        hlt
+    )");
+    EXPECT_EQ(h.cpu.x(1), 3u << 2); // EL3 at reset
+    EXPECT_EQ(h.cpu.x(3), 0x1004u);
+    EXPECT_EQ(h.cpu.x(4), 0u);
+    EXPECT_TRUE(h.port.dcache_on);
+    EXPECT_TRUE(h.port.icache_on);
+}
+
+TEST(Cpu, CacheMaintenanceReachesThePort)
+{
+    CpuHarness h;
+    h.run(R"(
+        movz x1, #0x1000
+        dc zva, x1
+        dc civac, x1
+        ic iallu
+        hlt
+    )");
+    EXPECT_EQ(h.port.zva_calls, (std::vector<uint64_t>{0x1000}));
+    EXPECT_EQ(h.port.civac_calls, (std::vector<uint64_t>{0x1000}));
+    EXPECT_EQ(h.port.iallu_calls, 1);
+}
+
+TEST(Cpu, RamIndexNeedsBarrierPair)
+{
+    CpuHarness h;
+    // Without dsb;isb the data register interface returns garbage.
+    h.run(R"(
+        movz x1, #7
+        ramindex x2, x1
+        hlt
+    )");
+    EXPECT_EQ(h.cpu.x(2), 0xdeadbeefdeadbeefull);
+
+    h.run(R"(
+        movz x1, #7
+        dsb sy
+        isb
+        ramindex x2, x1
+        hlt
+    )");
+    EXPECT_EQ(h.cpu.x(2), 0x1234567890abcdefull);
+    EXPECT_EQ(h.port.last_descriptor, 7u);
+}
+
+TEST(Cpu, IsbAloneIsNotEnough)
+{
+    CpuHarness h;
+    h.run(R"(
+        movz x1, #7
+        isb
+        ramindex x2, x1
+        hlt
+    )");
+    EXPECT_EQ(h.cpu.x(2), 0xdeadbeefdeadbeefull);
+}
+
+TEST(Cpu, RamIndexBelowEl3Faults)
+{
+    CpuHarness h;
+    const Program p = Assembler::assemble(R"(
+        dsb sy
+        isb
+        ramindex x2, x1
+        hlt
+    )");
+    h.port.load(0, p.bytes());
+    h.cpu.reset(0);
+    h.cpu.setEl(1); // a rebooted rich OS, not the secure monitor
+    h.cpu.run(100);
+    EXPECT_EQ(h.cpu.fault(), CpuFault::PrivilegeViolation);
+}
+
+TEST(Cpu, WritingReadOnlySysregFaults)
+{
+    CpuHarness h;
+    h.run("    msr currentel, x1\n    hlt\n");
+    EXPECT_EQ(h.cpu.fault(), CpuFault::PrivilegeViolation);
+}
+
+TEST(Cpu, ResetPreservesRegisterFiles)
+{
+    CpuHarness h;
+    h.run(R"(
+        vdup v9, #0x77
+        movz x20, #0xabc
+        hlt
+    )");
+    // A warm reboot: PC and flags reset, register contents do not.
+    h.cpu.reset(0);
+    EXPECT_EQ(h.cpu.v(9, 0), 0x7777777777777777ull);
+    EXPECT_EQ(h.cpu.x(20), 0xabcu);
+}
+
+TEST(Cpu, RunStopsAtMaxSteps)
+{
+    CpuHarness h;
+    const Program p = Assembler::assemble("spin:\n    b spin\n");
+    h.port.load(0, p.bytes());
+    h.cpu.reset(0);
+    const uint64_t steps = h.cpu.run(500);
+    EXPECT_EQ(steps, 500u);
+    EXPECT_FALSE(h.cpu.halted());
+}
+
+TEST(Cpu, RegisterFilesLiveInSram)
+{
+    CpuHarness h;
+    h.run("    vdup v0, #0xff\n    movz x5, #0x1234\n    hlt\n");
+    // The architectural state is literally bytes in the backing arrays.
+    EXPECT_EQ(h.vregs.readWord64(0), 0xffffffffffffffffull);
+    EXPECT_EQ(h.xregs.readWord64(5 * 8), 0x1234u);
+}
+
+} // namespace
+} // namespace voltboot

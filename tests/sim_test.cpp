@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Unit tests for the sim foundation: units, RNG, event queue, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/units.hh"
+
+namespace voltboot
+{
+namespace
+{
+
+TEST(Units, VoltConstructionAndAccessors)
+{
+    const Volt v = Volt::millivolts(800);
+    EXPECT_DOUBLE_EQ(v.volts(), 0.8);
+    EXPECT_DOUBLE_EQ(v.millivolts(), 800.0);
+}
+
+TEST(Units, ArithmeticWithinUnit)
+{
+    const Volt a(1.2), b(0.4);
+    EXPECT_DOUBLE_EQ((a + b).volts(), 1.6);
+    EXPECT_DOUBLE_EQ((a - b).volts(), 0.8);
+    EXPECT_DOUBLE_EQ((a * 2.0).volts(), 2.4);
+    EXPECT_DOUBLE_EQ((a / 2.0).volts(), 0.6);
+    EXPECT_DOUBLE_EQ(a / b, 3.0);
+}
+
+TEST(Units, Ordering)
+{
+    EXPECT_LT(Volt(0.5), Volt(0.8));
+    EXPECT_GT(Seconds::milliseconds(2), Seconds::microseconds(500));
+    EXPECT_EQ(Volt::millivolts(250), Volt(0.25));
+}
+
+TEST(Units, OhmsLaw)
+{
+    const Volt drop = Amp(2.0) * Ohm(0.05);
+    EXPECT_DOUBLE_EQ(drop.volts(), 0.1);
+    const Amp i = Volt(1.0) / Ohm(4.0);
+    EXPECT_DOUBLE_EQ(i.amps(), 0.25);
+}
+
+TEST(Units, RcTimeConstant)
+{
+    const Seconds tau = Ohm(100.0) * Farad::microfarads(10);
+    EXPECT_NEAR(tau.seconds(), 1e-3, 1e-12);
+}
+
+TEST(Units, TemperatureConversions)
+{
+    const Temperature t = Temperature::celsius(-40.0);
+    EXPECT_DOUBLE_EQ(t.kelvins(), 233.15);
+    EXPECT_DOUBLE_EQ(t.celsiusDegrees(), -40.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(13);
+    double sum = 0, sq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = r.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, BelowBound)
+{
+    Rng r(17);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_LT(r.below(17), 17u);
+}
+
+TEST(CellRng, RandomAccessIsStable)
+{
+    CellRng rng(0xc0ffee, 3);
+    const double first = rng.uniform(12345, 1);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(rng.uniform(12345, 1), first);
+}
+
+TEST(CellRng, ChannelsAreIndependent)
+{
+    CellRng rng(0xc0ffee, 3);
+    EXPECT_NE(rng.bits(5, 1), rng.bits(5, 2));
+    EXPECT_NE(rng.bits(5, 1), rng.bits(6, 1));
+}
+
+TEST(CellRng, DifferentChipsDifferentSilicon)
+{
+    CellRng a(1, 0), b(2, 0);
+    int same = 0;
+    for (uint64_t cell = 0; cell < 64; ++cell)
+        same += (a.bits(cell, 3) & 1) == (b.bits(cell, 3) & 1);
+    // ~32 expected by chance; all-64 would mean the seed is ignored.
+    EXPECT_LT(same, 50);
+    EXPECT_GT(same, 14);
+}
+
+TEST(CellRng, InverseNormalCdfRoundTrip)
+{
+    // Phi(Phi^-1(p)) == p at several quantiles.
+    const auto phi = [](double x) {
+        return 0.5 * std::erfc(-x / std::sqrt(2.0));
+    };
+    for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999})
+        EXPECT_NEAR(phi(CellRng::inverseNormalCdf(p)), p, 1e-6);
+}
+
+TEST(CellRng, GaussianMomentsAcrossCells)
+{
+    CellRng rng(0xabc, 7);
+    double sum = 0, sq = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian(i, 2);
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(Seconds(3.0), [&] { order.push_back(3); });
+    q.schedule(Seconds(1.0), [&] { order.push_back(1); });
+    q.schedule(Seconds(2.0), [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(q.now().seconds(), 3.0);
+}
+
+TEST(EventQueue, SimultaneousEventsUsePriorityThenFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(Seconds(1.0), [&] { order.push_back(10); }, 1);
+    q.schedule(Seconds(1.0), [&] { order.push_back(0); }, 0);
+    q.schedule(Seconds(1.0), [&] { order.push_back(11); }, 1);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 10, 11}));
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWithoutEvents)
+{
+    EventQueue q;
+    q.runUntil(Seconds(5.0));
+    EXPECT_DOUBLE_EQ(q.now().seconds(), 5.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(Seconds(1.0), [&] { ++fired; });
+    q.schedule(Seconds(10.0), [&] { ++fired; });
+    q.runUntil(Seconds(2.0));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_DOUBLE_EQ(q.now().seconds(), 2.0);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    double fired_at = -1.0;
+    q.schedule(Seconds(2.0), [&] {
+        q.scheduleAfter(Seconds(3.0),
+                        [&] { fired_at = q.now().seconds(); });
+    });
+    q.run();
+    EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Stats, RunningStatsMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_GT(s.ci95(), 0.0);
+}
+
+TEST(Stats, RunningStatsEmptyAndSingle)
+{
+    RunningStats s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Stats, RunningStatsMatchesGaussianSource)
+{
+    Rng rng(23);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.gaussian(10.0, 3.0));
+    EXPECT_NEAR(s.mean(), 10.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Stats, HistogramBinsAndTails)
+{
+    Histogram h(0.0, 10.0, 5);
+    for (double x : {-1.0, 0.0, 1.9, 2.0, 5.5, 9.99, 10.0, 42.0})
+        h.add(x);
+    EXPECT_EQ(h.total(), 8u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.counts()[0], 2u); // 0.0, 1.9
+    EXPECT_EQ(h.counts()[1], 1u); // 2.0
+    EXPECT_EQ(h.counts()[2], 1u); // 5.5
+    EXPECT_EQ(h.counts()[4], 1u); // 9.99
+    EXPECT_NE(h.render().find("(2)"), std::string::npos);
+}
+
+TEST(Stats, HistogramRejectsBadShape)
+{
+    EXPECT_THROW(Histogram(0.0, 0.0, 5), FatalError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), FatalError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config: ", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant broken"), PanicError);
+}
+
+TEST(Logging, MessagesAreFormatted)
+{
+    try {
+        fatal("value ", 7, " exceeds ", 3.5);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value 7 exceeds 3.5");
+    }
+}
+
+} // namespace
+} // namespace voltboot

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Calibration helper (not part of the shipped library): sweeps the
+ * LinuxModel noise parameters and prints Table 4-style recovery numbers
+ * so the defaults can be pinned to the paper's shape.
+ */
+
+#include <cstdio>
+
+#include "core/analysis.hh"
+#include "core/attack.hh"
+#include "os/linux_model.hh"
+#include "soc/soc.hh"
+
+using namespace voltboot;
+
+int
+main()
+{
+    for (double noise : {0.015, 0.025, 0.040}) {
+        for (size_t kb : {4, 8, 16, 32}) {
+            double total = 0;
+            int n = 0;
+            for (uint64_t seed : {1ull, 2ull, 3ull}) {
+                Soc soc(SocConfig::bcm2711());
+                soc.powerOn();
+                LinuxModelConfig cfg;
+                cfg.seed = seed;
+                cfg.kernel_noise_per_victim_access = noise;
+                LinuxModel lm(soc, cfg);
+                lm.boot();
+                const auto truth = lm.runArrayBenchmark(kb * 1024);
+                VoltBootAttack attack(soc);
+                attack.execute();
+                for (size_t core = 0; core < truth.size(); ++core) {
+                    std::vector<MemoryImage> ways;
+                    for (size_t w = 0; w < soc.config().l1d.ways; ++w)
+                        ways.push_back(
+                            attack.dumpL1Way(core, L1Ram::DData, w));
+                    const ElementRecovery er =
+                        recoverElements(ways, truth[core].elements);
+                    total += er.fractionRecovered();
+                    ++n;
+                }
+            }
+            std::printf("noise=%5.0f  %2zuKB: %.4f\n", noise, kb,
+                        total / n);
+        }
+    }
+    return 0;
+}

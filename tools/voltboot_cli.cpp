@@ -1,0 +1,282 @@
+/**
+ * @file
+ * voltboot — command-line driver for the attack toolkit.
+ *
+ * Subcommands:
+ *   platforms                         list the device database
+ *   attack   [options]                run Volt Boot end to end
+ *   coldboot [options]                run the cold-boot control
+ *   survey   [--board NAME]           countermeasure survey
+ *   retention [--tech sram|dram]      survival surface
+ *
+ * Common options:
+ *   --board pi3|pi4|imx53     target platform        (default pi4)
+ *   --target dcache|icache|regs|iram|tlb|btb         (default dcache)
+ *   --temp <celsius>          ambient temperature    (default 25)
+ *   --off-ms <ms>             power-off interval     (default 500)
+ *   --current <amps>          probe current limit    (default 3.0)
+ *   --pad <label>             probe somewhere else (wrong-domain demo)
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/analysis.hh"
+#include "core/attack.hh"
+#include "core/countermeasures.hh"
+#include "os/baremetal.hh"
+#include "os/workloads.hh"
+#include "sim/logging.hh"
+#include "soc/soc.hh"
+
+using namespace voltboot;
+
+namespace
+{
+
+struct Options
+{
+    std::string board = "pi4";
+    std::string target = "dcache";
+    double temp_c = 25.0;
+    double off_ms = 500.0;
+    double current = 3.0;
+    std::string pad; // empty = the platform's documented attack pad
+};
+
+SocConfig
+configFor(const std::string &board)
+{
+    if (board == "pi3")
+        return SocConfig::bcm2837();
+    if (board == "pi4")
+        return SocConfig::bcm2711();
+    if (board == "imx53")
+        return SocConfig::imx535();
+    fatal("unknown board '", board, "' (pi3|pi4|imx53)");
+}
+
+Options
+parse(int argc, char **argv, int first)
+{
+    Options o;
+    for (int i = first; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", flag);
+            return argv[++i];
+        };
+        if (flag == "--board")
+            o.board = value();
+        else if (flag == "--target")
+            o.target = value();
+        else if (flag == "--temp")
+            o.temp_c = std::stod(value());
+        else if (flag == "--off-ms")
+            o.off_ms = std::stod(value());
+        else if (flag == "--current")
+            o.current = std::stod(value());
+        else if (flag == "--pad")
+            o.pad = value();
+        else
+            fatal("unknown option ", flag);
+    }
+    return o;
+}
+
+int
+cmdPlatforms()
+{
+    TextTable t({"name", "board", "SoC", "CPU", "attack pad",
+                 "target memories"});
+    t.addRow({"pi3", "Raspberry Pi 3", "BCM2837", "4x Cortex-A53",
+              "PP58 @ 1.2V", "L1D, L1I, registers"});
+    t.addRow({"pi4", "Raspberry Pi 4", "BCM2711", "4x Cortex-A72",
+              "TP15 @ 0.8V", "L1D, L1I, registers"});
+    t.addRow({"imx53", "i.MX53 QSB", "i.MX535", "1x Cortex-A8",
+              "SH13 @ 1.3V", "iRAM (JTAG)"});
+    std::cout << t.render();
+    return 0;
+}
+
+/** Prepare the standard victim for the selected target memory. */
+void
+prepareVictim(Soc &soc, const std::string &target)
+{
+    BareMetalRunner runner(soc);
+    if (target == "regs") {
+        for (size_t core = 0; core < soc.coreCount(); ++core)
+            runner.runOn(core, workloads::vectorFill(0xFF, 0xAA));
+    } else if (target == "iram") {
+        if (!soc.iramArray())
+            fatal("platform has no iRAM; use --board imx53");
+        std::vector<uint8_t> img(soc.config().iram_bytes);
+        for (size_t i = 0; i < img.size(); ++i)
+            img[i] = static_cast<uint8_t>(i * 7 + 3);
+        soc.jtag().writeIram(soc.config().iram_base, img);
+    } else if (target == "icache") {
+        for (size_t core = 0; core < soc.coreCount(); ++core)
+            runner.runOn(core, workloads::nopFiller(2048));
+    } else { // dcache / tlb / btb victims all run the pattern store
+        const uint64_t base = soc.config().dram_base + 0x40000;
+        runner.runOn(0, workloads::patternStore(base, 8192, 0xAA));
+    }
+}
+
+int
+cmdAttack(const Options &o)
+{
+    SocConfig cfg = configFor(o.board);
+    Soc soc(cfg);
+    soc.setAmbient(Temperature::celsius(o.temp_c));
+    soc.powerOn();
+    prepareVictim(soc, o.target);
+
+    AttackConfig acfg;
+    acfg.probe_max_current = Amp(o.current);
+    acfg.off_time = Seconds::milliseconds(o.off_ms);
+    VoltBootAttack attack(soc, acfg);
+
+    AttackOutcome out = o.pad.empty() ? attack.attachProbe()
+                                      : attack.attachProbeAt(o.pad);
+    if (out.probe_attached)
+        out = attack.powerCycleAndBoot();
+    for (const auto &line : attack.trace())
+        std::cout << line << "\n";
+    if (!out.rebooted_into_attacker_code) {
+        std::cout << "attack failed: " << out.failure_reason << "\n";
+        return 1;
+    }
+
+    MemoryImage dump;
+    if (o.target == "dcache")
+        dump = attack.dumpL1(0, L1Ram::DData);
+    else if (o.target == "icache")
+        dump = attack.dumpL1(0, L1Ram::IData);
+    else if (o.target == "regs")
+        dump = attack.dumpVectorRegisters(0);
+    else if (o.target == "iram")
+        dump = attack.dumpIram();
+    else if (o.target == "tlb")
+        dump = attack.dumpDtlb(0);
+    else if (o.target == "btb")
+        dump = attack.dumpBtb(0);
+    else
+        fatal("unknown target '", o.target, "'");
+
+    std::cout << "\ndump: " << dump.sizeBytes()
+              << " bytes, ones density "
+              << TextTable::num(dump.onesDensity(), 4)
+              << ", byte entropy "
+              << TextTable::num(dump.byteEntropy(), 2) << " bits\n";
+    std::cout << dump.hexdump(128);
+    return 0;
+}
+
+int
+cmdColdBoot(const Options &o)
+{
+    SocConfig cfg = configFor(o.board);
+    Soc soc(cfg);
+    soc.powerOn();
+    prepareVictim(soc, "dcache");
+
+    ColdBootAttack attack(soc, Temperature::celsius(o.temp_c),
+                          Seconds::milliseconds(o.off_ms));
+    if (!attack.powerCycleAndBoot()) {
+        std::cout << "boot failed (authenticated boot?)\n";
+        return 1;
+    }
+    const MemoryImage dump = attack.dumpL1(0, L1Ram::DData);
+    const MemoryImage truth = MemoryImage::filled(dump.sizeBytes(), 0xAA);
+    std::cout << "cold boot at " << o.temp_c << " degC, " << o.off_ms
+              << " ms off\n";
+    std::cout << "error vs stored pattern: "
+              << TextTable::pct(
+                     MemoryImage::fractionalHamming(dump, truth))
+              << " (50% = nothing retained)\n";
+    return 0;
+}
+
+int
+cmdSurvey(const Options &o)
+{
+    TextTable t({"defence", "attack", "recovered", "notes"});
+    for (const auto &row : surveyCountermeasures(configFor(o.board)))
+        t.addRow({toString(row.defence),
+                  row.attack_succeeded ? "SUCCEEDS" : "defeated",
+                  TextTable::pct(row.recovered_fraction), row.notes});
+    std::cout << t.render();
+    return 0;
+}
+
+int
+cmdRetention(const std::string &tech)
+{
+    const RetentionConfig cfg = tech == "dram" ? RetentionConfig::dram()
+                                               : RetentionConfig::sram6t();
+    const RetentionModel model(cfg, CellRng(1, 1));
+    std::vector<std::string> header{"off \\ degC"};
+    for (double t : {-140.0, -110.0, -80.0, -40.0, 0.0, 25.0})
+        header.push_back(TextTable::num(t, 0));
+    TextTable table(header);
+    for (double ms : {0.5, 2.0, 20.0, 200.0, 2000.0}) {
+        std::vector<std::string> row{TextTable::num(ms, 1) + " ms"};
+        for (double t : {-140.0, -110.0, -80.0, -40.0, 0.0, 25.0})
+            row.push_back(TextTable::pct(
+                model.expectedSurvival(Seconds::milliseconds(ms),
+                                       Temperature::celsius(t)),
+                1));
+        table.addRow(row);
+    }
+    std::cout << tech << " expected survival:\n" << table.render();
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout
+        << "usage: voltboot <platforms|attack|coldboot|survey|retention>"
+           " [options]\n"
+           "  attack   --board pi3|pi4|imx53 --target "
+           "dcache|icache|regs|iram|tlb|btb\n"
+           "           [--temp C] [--off-ms MS] [--current A] [--pad "
+           "LABEL]\n"
+           "  coldboot --board ... --temp C --off-ms MS\n"
+           "  survey   [--board ...]\n"
+           "  retention [--target sram|dram]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "platforms")
+            return cmdPlatforms();
+        const Options o = parse(argc, argv, 2);
+        if (cmd == "attack")
+            return cmdAttack(o);
+        if (cmd == "coldboot")
+            return cmdColdBoot(o);
+        if (cmd == "survey")
+            return cmdSurvey(o);
+        if (cmd == "retention")
+            return cmdRetention(o.target == "dram" ? "dram" : "sram");
+        usage();
+        return 2;
+    } catch (const FatalError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
