@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dram_coldboot.dir/ablation_dram_coldboot.cpp.o"
+  "CMakeFiles/ablation_dram_coldboot.dir/ablation_dram_coldboot.cpp.o.d"
+  "ablation_dram_coldboot"
+  "ablation_dram_coldboot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dram_coldboot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_retention_surface.dir/ablation_retention_surface.cpp.o"
+  "CMakeFiles/ablation_retention_surface.dir/ablation_retention_surface.cpp.o.d"
+  "ablation_retention_surface"
+  "ablation_retention_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_retention_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_retention_voltage.dir/ablation_retention_voltage.cpp.o"
+  "CMakeFiles/ablation_retention_voltage.dir/ablation_retention_voltage.cpp.o.d"
+  "ablation_retention_voltage"
+  "ablation_retention_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_retention_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

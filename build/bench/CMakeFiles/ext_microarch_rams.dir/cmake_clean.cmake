@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_microarch_rams.dir/ext_microarch_rams.cpp.o"
+  "CMakeFiles/ext_microarch_rams.dir/ext_microarch_rams.cpp.o.d"
+  "ext_microarch_rams"
+  "ext_microarch_rams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_microarch_rams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

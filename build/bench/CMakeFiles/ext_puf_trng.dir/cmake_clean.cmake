@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_puf_trng.dir/ext_puf_trng.cpp.o"
+  "CMakeFiles/ext_puf_trng.dir/ext_puf_trng.cpp.o.d"
+  "ext_puf_trng"
+  "ext_puf_trng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_puf_trng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure10_hamming_profile.dir/figure10_hamming_profile.cpp.o"
+  "CMakeFiles/figure10_hamming_profile.dir/figure10_hamming_profile.cpp.o.d"
+  "figure10_hamming_profile"
+  "figure10_hamming_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure10_hamming_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure124_architecture.dir/figure124_architecture.cpp.o"
+  "CMakeFiles/figure124_architecture.dir/figure124_architecture.cpp.o.d"
+  "figure124_architecture"
+  "figure124_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure124_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

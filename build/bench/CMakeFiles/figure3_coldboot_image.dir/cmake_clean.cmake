@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_coldboot_image.dir/figure3_coldboot_image.cpp.o"
+  "CMakeFiles/figure3_coldboot_image.dir/figure3_coldboot_image.cpp.o.d"
+  "figure3_coldboot_image"
+  "figure3_coldboot_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_coldboot_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

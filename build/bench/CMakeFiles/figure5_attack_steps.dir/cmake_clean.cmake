@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_attack_steps.dir/figure5_attack_steps.cpp.o"
+  "CMakeFiles/figure5_attack_steps.dir/figure5_attack_steps.cpp.o.d"
+  "figure5_attack_steps"
+  "figure5_attack_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_attack_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

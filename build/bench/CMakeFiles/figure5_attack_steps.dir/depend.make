@@ -1,0 +1,2 @@
+# Empty dependencies file for figure5_attack_steps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_icache_baremetal.dir/figure7_icache_baremetal.cpp.o"
+  "CMakeFiles/figure7_icache_baremetal.dir/figure7_icache_baremetal.cpp.o.d"
+  "figure7_icache_baremetal"
+  "figure7_icache_baremetal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_icache_baremetal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure8_os_snapshots.dir/figure8_os_snapshots.cpp.o"
+  "CMakeFiles/figure8_os_snapshots.dir/figure8_os_snapshots.cpp.o.d"
+  "figure8_os_snapshots"
+  "figure8_os_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure8_os_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure9_iram_images.dir/figure9_iram_images.cpp.o"
+  "CMakeFiles/figure9_iram_images.dir/figure9_iram_images.cpp.o.d"
+  "figure9_iram_images"
+  "figure9_iram_images.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure9_iram_images.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure9_iram_images.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_accessible_memory.dir/sec62_accessible_memory.cpp.o"
+  "CMakeFiles/sec62_accessible_memory.dir/sec62_accessible_memory.cpp.o.d"
+  "sec62_accessible_memory"
+  "sec62_accessible_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_accessible_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

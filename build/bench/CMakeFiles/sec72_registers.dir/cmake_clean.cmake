@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec72_registers.dir/sec72_registers.cpp.o"
+  "CMakeFiles/sec72_registers.dir/sec72_registers.cpp.o.d"
+  "sec72_registers"
+  "sec72_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec72_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec8_countermeasures.dir/sec8_countermeasures.cpp.o"
+  "CMakeFiles/sec8_countermeasures.dir/sec8_countermeasures.cpp.o.d"
+  "sec8_countermeasures"
+  "sec8_countermeasures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec8_countermeasures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_coldboot.dir/table1_coldboot.cpp.o"
+  "CMakeFiles/table1_coldboot.dir/table1_coldboot.cpp.o.d"
+  "table1_coldboot"
+  "table1_coldboot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_coldboot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_coldboot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_testpads.dir/table3_testpads.cpp.o"
+  "CMakeFiles/table3_testpads.dir/table3_testpads.cpp.o.d"
+  "table3_testpads"
+  "table3_testpads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_testpads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

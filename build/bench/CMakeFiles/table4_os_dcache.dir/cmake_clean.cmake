@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_os_dcache.dir/table4_os_dcache.cpp.o"
+  "CMakeFiles/table4_os_dcache.dir/table4_os_dcache.cpp.o.d"
+  "table4_os_dcache"
+  "table4_os_dcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_os_dcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

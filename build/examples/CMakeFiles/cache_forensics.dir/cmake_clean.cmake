@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_forensics.dir/cache_forensics.cpp.o"
+  "CMakeFiles/cache_forensics.dir/cache_forensics.cpp.o.d"
+  "cache_forensics"
+  "cache_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

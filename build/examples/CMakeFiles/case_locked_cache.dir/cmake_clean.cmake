@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_locked_cache.dir/case_locked_cache.cpp.o"
+  "CMakeFiles/case_locked_cache.dir/case_locked_cache.cpp.o.d"
+  "case_locked_cache"
+  "case_locked_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_locked_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for case_locked_cache.
+# This may be replaced when dependencies are built.

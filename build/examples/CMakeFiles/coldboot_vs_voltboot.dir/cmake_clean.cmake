@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coldboot_vs_voltboot.dir/coldboot_vs_voltboot.cpp.o"
+  "CMakeFiles/coldboot_vs_voltboot.dir/coldboot_vs_voltboot.cpp.o.d"
+  "coldboot_vs_voltboot"
+  "coldboot_vs_voltboot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coldboot_vs_voltboot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

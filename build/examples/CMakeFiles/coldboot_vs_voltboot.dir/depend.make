@@ -1,0 +1,2 @@
+# Empty dependencies file for coldboot_vs_voltboot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/steal_aes_key.cpp" "examples/CMakeFiles/steal_aes_key.dir/steal_aes_key.cpp.o" "gcc" "examples/CMakeFiles/steal_aes_key.dir/steal_aes_key.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/voltboot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/voltboot_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/voltboot_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/voltboot_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/voltboot_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/voltboot_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/voltboot_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/voltboot_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/voltboot_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steal_aes_key.dir/steal_aes_key.cpp.o"
+  "CMakeFiles/steal_aes_key.dir/steal_aes_key.cpp.o.d"
+  "steal_aes_key"
+  "steal_aes_key.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steal_aes_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

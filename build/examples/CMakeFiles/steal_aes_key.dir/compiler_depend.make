@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for steal_aes_key.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for steal_aes_key.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltboot_core.dir/analysis.cc.o"
+  "CMakeFiles/voltboot_core.dir/analysis.cc.o.d"
+  "CMakeFiles/voltboot_core.dir/attack.cc.o"
+  "CMakeFiles/voltboot_core.dir/attack.cc.o.d"
+  "CMakeFiles/voltboot_core.dir/countermeasures.cc.o"
+  "CMakeFiles/voltboot_core.dir/countermeasures.cc.o.d"
+  "libvoltboot_core.a"
+  "libvoltboot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltboot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

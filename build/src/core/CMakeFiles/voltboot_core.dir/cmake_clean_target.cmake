@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvoltboot_core.a"
+)

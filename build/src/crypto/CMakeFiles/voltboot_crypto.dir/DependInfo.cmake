@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/crypto/CMakeFiles/voltboot_crypto.dir/aes.cc.o" "gcc" "src/crypto/CMakeFiles/voltboot_crypto.dir/aes.cc.o.d"
+  "/root/repo/src/crypto/key_corrector.cc" "src/crypto/CMakeFiles/voltboot_crypto.dir/key_corrector.cc.o" "gcc" "src/crypto/CMakeFiles/voltboot_crypto.dir/key_corrector.cc.o.d"
+  "/root/repo/src/crypto/key_finder.cc" "src/crypto/CMakeFiles/voltboot_crypto.dir/key_finder.cc.o" "gcc" "src/crypto/CMakeFiles/voltboot_crypto.dir/key_finder.cc.o.d"
+  "/root/repo/src/crypto/onchip_crypto.cc" "src/crypto/CMakeFiles/voltboot_crypto.dir/onchip_crypto.cc.o" "gcc" "src/crypto/CMakeFiles/voltboot_crypto.dir/onchip_crypto.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/voltboot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/voltboot_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/voltboot_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/voltboot_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

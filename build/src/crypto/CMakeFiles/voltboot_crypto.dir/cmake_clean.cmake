@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltboot_crypto.dir/aes.cc.o"
+  "CMakeFiles/voltboot_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/voltboot_crypto.dir/key_corrector.cc.o"
+  "CMakeFiles/voltboot_crypto.dir/key_corrector.cc.o.d"
+  "CMakeFiles/voltboot_crypto.dir/key_finder.cc.o"
+  "CMakeFiles/voltboot_crypto.dir/key_finder.cc.o.d"
+  "CMakeFiles/voltboot_crypto.dir/onchip_crypto.cc.o"
+  "CMakeFiles/voltboot_crypto.dir/onchip_crypto.cc.o.d"
+  "libvoltboot_crypto.a"
+  "libvoltboot_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltboot_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cc" "src/isa/CMakeFiles/voltboot_isa.dir/assembler.cc.o" "gcc" "src/isa/CMakeFiles/voltboot_isa.dir/assembler.cc.o.d"
+  "/root/repo/src/isa/cpu.cc" "src/isa/CMakeFiles/voltboot_isa.dir/cpu.cc.o" "gcc" "src/isa/CMakeFiles/voltboot_isa.dir/cpu.cc.o.d"
+  "/root/repo/src/isa/insn.cc" "src/isa/CMakeFiles/voltboot_isa.dir/insn.cc.o" "gcc" "src/isa/CMakeFiles/voltboot_isa.dir/insn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/voltboot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/voltboot_sram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltboot_isa.dir/assembler.cc.o"
+  "CMakeFiles/voltboot_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/voltboot_isa.dir/cpu.cc.o"
+  "CMakeFiles/voltboot_isa.dir/cpu.cc.o.d"
+  "CMakeFiles/voltboot_isa.dir/insn.cc.o"
+  "CMakeFiles/voltboot_isa.dir/insn.cc.o.d"
+  "libvoltboot_isa.a"
+  "libvoltboot_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltboot_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/btb.cc" "src/mem/CMakeFiles/voltboot_mem.dir/btb.cc.o" "gcc" "src/mem/CMakeFiles/voltboot_mem.dir/btb.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/voltboot_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/voltboot_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/mem/CMakeFiles/voltboot_mem.dir/memory_system.cc.o" "gcc" "src/mem/CMakeFiles/voltboot_mem.dir/memory_system.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/mem/CMakeFiles/voltboot_mem.dir/tlb.cc.o" "gcc" "src/mem/CMakeFiles/voltboot_mem.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/voltboot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/voltboot_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/voltboot_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltboot_mem.dir/btb.cc.o"
+  "CMakeFiles/voltboot_mem.dir/btb.cc.o.d"
+  "CMakeFiles/voltboot_mem.dir/cache.cc.o"
+  "CMakeFiles/voltboot_mem.dir/cache.cc.o.d"
+  "CMakeFiles/voltboot_mem.dir/memory_system.cc.o"
+  "CMakeFiles/voltboot_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/voltboot_mem.dir/tlb.cc.o"
+  "CMakeFiles/voltboot_mem.dir/tlb.cc.o.d"
+  "libvoltboot_mem.a"
+  "libvoltboot_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltboot_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

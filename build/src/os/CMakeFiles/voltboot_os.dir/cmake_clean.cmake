@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltboot_os.dir/baremetal.cc.o"
+  "CMakeFiles/voltboot_os.dir/baremetal.cc.o.d"
+  "CMakeFiles/voltboot_os.dir/linux_model.cc.o"
+  "CMakeFiles/voltboot_os.dir/linux_model.cc.o.d"
+  "CMakeFiles/voltboot_os.dir/workloads.cc.o"
+  "CMakeFiles/voltboot_os.dir/workloads.cc.o.d"
+  "libvoltboot_os.a"
+  "libvoltboot_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltboot_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

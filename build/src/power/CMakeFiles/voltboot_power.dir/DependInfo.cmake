@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/board.cc" "src/power/CMakeFiles/voltboot_power.dir/board.cc.o" "gcc" "src/power/CMakeFiles/voltboot_power.dir/board.cc.o.d"
+  "/root/repo/src/power/power_domain.cc" "src/power/CMakeFiles/voltboot_power.dir/power_domain.cc.o" "gcc" "src/power/CMakeFiles/voltboot_power.dir/power_domain.cc.o.d"
+  "/root/repo/src/power/transient.cc" "src/power/CMakeFiles/voltboot_power.dir/transient.cc.o" "gcc" "src/power/CMakeFiles/voltboot_power.dir/transient.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/voltboot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/voltboot_sram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

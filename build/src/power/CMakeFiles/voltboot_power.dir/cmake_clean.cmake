@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltboot_power.dir/board.cc.o"
+  "CMakeFiles/voltboot_power.dir/board.cc.o.d"
+  "CMakeFiles/voltboot_power.dir/power_domain.cc.o"
+  "CMakeFiles/voltboot_power.dir/power_domain.cc.o.d"
+  "CMakeFiles/voltboot_power.dir/transient.cc.o"
+  "CMakeFiles/voltboot_power.dir/transient.cc.o.d"
+  "libvoltboot_power.a"
+  "libvoltboot_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltboot_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

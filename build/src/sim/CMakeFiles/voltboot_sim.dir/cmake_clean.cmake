@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltboot_sim.dir/logging.cc.o"
+  "CMakeFiles/voltboot_sim.dir/logging.cc.o.d"
+  "CMakeFiles/voltboot_sim.dir/rng.cc.o"
+  "CMakeFiles/voltboot_sim.dir/rng.cc.o.d"
+  "libvoltboot_sim.a"
+  "libvoltboot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltboot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltboot_soc.dir/soc.cc.o"
+  "CMakeFiles/voltboot_soc.dir/soc.cc.o.d"
+  "CMakeFiles/voltboot_soc.dir/soc_config.cc.o"
+  "CMakeFiles/voltboot_soc.dir/soc_config.cc.o.d"
+  "libvoltboot_soc.a"
+  "libvoltboot_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltboot_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

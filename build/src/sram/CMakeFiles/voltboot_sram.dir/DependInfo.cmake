@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sram/memory_array.cc" "src/sram/CMakeFiles/voltboot_sram.dir/memory_array.cc.o" "gcc" "src/sram/CMakeFiles/voltboot_sram.dir/memory_array.cc.o.d"
+  "/root/repo/src/sram/memory_image.cc" "src/sram/CMakeFiles/voltboot_sram.dir/memory_image.cc.o" "gcc" "src/sram/CMakeFiles/voltboot_sram.dir/memory_image.cc.o.d"
+  "/root/repo/src/sram/puf.cc" "src/sram/CMakeFiles/voltboot_sram.dir/puf.cc.o" "gcc" "src/sram/CMakeFiles/voltboot_sram.dir/puf.cc.o.d"
+  "/root/repo/src/sram/retention_model.cc" "src/sram/CMakeFiles/voltboot_sram.dir/retention_model.cc.o" "gcc" "src/sram/CMakeFiles/voltboot_sram.dir/retention_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/voltboot_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltboot_sram.dir/memory_array.cc.o"
+  "CMakeFiles/voltboot_sram.dir/memory_array.cc.o.d"
+  "CMakeFiles/voltboot_sram.dir/memory_image.cc.o"
+  "CMakeFiles/voltboot_sram.dir/memory_image.cc.o.d"
+  "CMakeFiles/voltboot_sram.dir/puf.cc.o"
+  "CMakeFiles/voltboot_sram.dir/puf.cc.o.d"
+  "CMakeFiles/voltboot_sram.dir/retention_model.cc.o"
+  "CMakeFiles/voltboot_sram.dir/retention_model.cc.o.d"
+  "libvoltboot_sram.a"
+  "libvoltboot_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltboot_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

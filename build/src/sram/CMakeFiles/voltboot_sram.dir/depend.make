@@ -1,0 +1,2 @@
+# Empty dependencies file for voltboot_sram.
+# This may be replaced when dependencies are built.

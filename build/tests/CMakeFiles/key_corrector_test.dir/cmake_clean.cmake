@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_corrector_test.dir/key_corrector_test.cpp.o"
+  "CMakeFiles/key_corrector_test.dir/key_corrector_test.cpp.o.d"
+  "key_corrector_test"
+  "key_corrector_test.pdb"
+  "key_corrector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_corrector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_table4.dir/calibrate_table4.cpp.o"
+  "CMakeFiles/calibrate_table4.dir/calibrate_table4.cpp.o.d"
+  "calibrate_table4"
+  "calibrate_table4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_table4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

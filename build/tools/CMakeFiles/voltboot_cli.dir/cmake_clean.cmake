@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltboot_cli.dir/voltboot_cli.cpp.o"
+  "CMakeFiles/voltboot_cli.dir/voltboot_cli.cpp.o.d"
+  "voltboot_cli"
+  "voltboot_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltboot_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
