@@ -8,11 +8,18 @@
  * This ablation sweeps the probe's current limit and source impedance
  * and reports the droop minimum and the resulting retention accuracy,
  * locating the cliff.
+ *
+ * The current-limit and impedance sweeps run as campaigns through the
+ * parallel sweep engine (two chips per grid point, mean accuracy
+ * reported); the decoupling-capacitance sweep stays hand-rolled since
+ * board decap is not a grid axis.
  */
 
 #include <iostream>
+#include <map>
 
 #include "bench_util.hh"
+#include "campaign/campaign.hh"
 #include "core/analysis.hh"
 #include "core/attack.hh"
 #include "os/baremetal.hh"
@@ -24,9 +31,29 @@ using namespace voltboot;
 namespace
 {
 
+/** Mean Ok-trial accuracy per value of @p axis ("n/a" if all failed). */
+std::map<double, RunningStats>
+accuracyByAxis(const CampaignResult &result, double TrialSpec::*axis)
+{
+    std::map<double, RunningStats> by_value;
+    for (const TrialRecord &r : result.records)
+        if (r.status == TrialStatus::Ok)
+            by_value[r.spec.*axis].add(r.accuracy);
+    return by_value;
+}
+
+ProbeTransient
+solveTransient(Amp limit, Ohm impedance, Farad decap)
+{
+    const SocConfig cfg = SocConfig::bcm2711();
+    return TransientSolver::solve(
+        VoltageProbe{cfg.core_domain.nominal, limit, impedance},
+        cfg.core_domain.surge_current, cfg.core_domain.retention_current,
+        decap, Seconds::microseconds(5));
+}
+
 double
-retentionWithProbe(Amp max_current, Ohm impedance,
-                   Farad decap = Farad::microfarads(220))
+retentionWithProbe(Amp max_current, Ohm impedance, Farad decap)
 {
     SocConfig soc_cfg = SocConfig::bcm2711();
     soc_cfg.core_domain.decap = decap;
@@ -55,43 +82,62 @@ main()
     bench::banner("Ablation A1",
                   "probe current capability / impedance vs retention");
 
+    const std::vector<double> amps{0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 3.0};
+    const std::vector<double> mohms{10.0, 50.0, 200.0, 500.0, 900.0,
+                                    1300.0};
+
     std::cout << "\n(a) current-limit sweep at 50 mOhm source "
-                 "impedance:\n";
+                 "impedance (campaign, 2 chips/point):\n";
+    SweepGrid grid_a;
+    grid_a.boards = {"pi4"};
+    grid_a.attacks = {AttackKind::VoltBoot};
+    grid_a.currents_a = amps;
+    grid_a.seed_count = 2;
+    CampaignConfig cfg_a;
+    cfg_a.seed = 0xa1a;
+    const CampaignResult res_a = Campaign(grid_a, cfg_a).run();
+    const auto acc_a = accuracyByAxis(res_a, &TrialSpec::current_a);
+
     TextTable ta({"Probe limit", "Droop minimum", "Current-limited",
                   "Retention accuracy"});
-    for (double amps : {0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 3.0}) {
-        // Solve the transient separately for reporting.
-        const SocConfig cfg = SocConfig::bcm2711();
-        const ProbeTransient tr = TransientSolver::solve(
-            VoltageProbe{cfg.core_domain.nominal, Amp(amps), Ohm(0.05)},
-            cfg.core_domain.surge_current,
-            cfg.core_domain.retention_current, cfg.core_domain.decap,
-            Seconds::microseconds(5));
-        const double acc = retentionWithProbe(Amp(amps), Ohm(0.05));
-        ta.addRow({TextTable::num(amps, 2) + " A",
+    for (double a : amps) {
+        const ProbeTransient tr =
+            solveTransient(Amp(a), Ohm(0.05),
+                           SocConfig::bcm2711().core_domain.decap);
+        const auto hit = acc_a.find(a);
+        ta.addRow({TextTable::num(a, 2) + " A",
                    TextTable::num(tr.v_min.volts(), 3) + " V",
                    tr.current_limited ? "yes" : "no",
-                   TextTable::pct(acc)});
+                   hit != acc_a.end() && hit->second.count()
+                       ? TextTable::pct(hit->second.mean())
+                       : "n/a"});
     }
     std::cout << ta.render();
 
-    std::cout << "\n(b) source-impedance sweep at 3 A limit (stock "
-                 "220 uF decap):\n";
+    std::cout << "\n(b) source-impedance sweep at 3 A limit (campaign, "
+                 "2 chips/point, stock 220 uF decap):\n";
+    SweepGrid grid_b;
+    grid_b.boards = {"pi4"};
+    grid_b.attacks = {AttackKind::VoltBoot};
+    grid_b.impedances_mohm = mohms;
+    grid_b.seed_count = 2;
+    CampaignConfig cfg_b;
+    cfg_b.seed = 0xa1b;
+    const CampaignResult res_b = Campaign(grid_b, cfg_b).run();
+    const auto acc_b = accuracyByAxis(res_b, &TrialSpec::impedance_mohm);
+
     TextTable tb({"Source impedance", "Droop minimum",
                   "Retention accuracy"});
-    for (double mohm : {10.0, 50.0, 200.0, 500.0, 900.0, 1300.0}) {
-        const SocConfig cfg = SocConfig::bcm2711();
-        const ProbeTransient tr = TransientSolver::solve(
-            VoltageProbe{cfg.core_domain.nominal, Amp(3.0),
-                         Ohm::milliohms(mohm)},
-            cfg.core_domain.surge_current,
-            cfg.core_domain.retention_current, cfg.core_domain.decap,
-            Seconds::microseconds(5));
-        const double acc =
-            retentionWithProbe(Amp(3.0), Ohm::milliohms(mohm));
-        tb.addRow({TextTable::num(mohm, 0) + " mOhm",
+    for (double mo : mohms) {
+        const ProbeTransient tr =
+            solveTransient(Amp(3.0), Ohm::milliohms(mo),
+                           SocConfig::bcm2711().core_domain.decap);
+        const auto hit = acc_b.find(mo);
+        tb.addRow({TextTable::num(mo, 0) + " mOhm",
                    TextTable::num(tr.v_min.volts(), 3) + " V",
-                   TextTable::pct(acc)});
+                   hit != acc_b.end() && hit->second.count()
+                       ? TextTable::pct(hit->second.mean())
+                       : "n/a"});
     }
     std::cout << tb.render();
     std::cout << "(flat: the rail decoupling capacitance absorbs the "
@@ -102,13 +148,8 @@ main()
                  "probe (3 A limit, 1 Ohm):\n";
     TextTable tc({"Rail decap", "Droop minimum", "Retention accuracy"});
     for (double uf : {220.0, 47.0, 10.0, 4.7, 1.0, 0.1}) {
-        const SocConfig cfg = SocConfig::bcm2711();
-        const ProbeTransient tr = TransientSolver::solve(
-            VoltageProbe{cfg.core_domain.nominal, Amp(3.0),
-                         Ohm::milliohms(1000)},
-            cfg.core_domain.surge_current,
-            cfg.core_domain.retention_current,
-            Farad::microfarads(uf), Seconds::microseconds(5));
+        const ProbeTransient tr = solveTransient(
+            Amp(3.0), Ohm::milliohms(1000), Farad::microfarads(uf));
         const double acc = retentionWithProbe(
             Amp(3.0), Ohm::milliohms(1000), Farad::microfarads(uf));
         tc.addRow({TextTable::num(uf, 1) + " uF",

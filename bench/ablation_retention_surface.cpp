@@ -3,9 +3,12 @@
  * Ablation A2 — the temperature/off-time retention surface, SRAM vs
  * DRAM.
  *
- * Prints the closed-form expected survival fraction over a grid of
- * temperatures and power-off durations for both cell technologies, with
- * the literature anchor points marked:
+ * The SRAM surface is *measured*: a campaign of cold-boot trials over
+ * the (temperature x off-time x chip) grid runs through the parallel
+ * campaign engine, and each cell of the table is the mean retention
+ * accuracy of the extracted L1D dumps (50% = chance, nothing retained).
+ * The DRAM surface and the literature anchors use the closed-form
+ * expected-survival model, as before:
  *
  *  - SRAM retains ~80% for 20 ms at -110 degC and ~0% at -40 degC
  *    (Anagnostopoulos et al.; the paper's Section 3 argument);
@@ -15,10 +18,13 @@
  */
 
 #include <iostream>
+#include <map>
 
 #include "bench_util.hh"
+#include "campaign/campaign.hh"
 #include "core/analysis.hh"
 #include "sim/rng.hh"
+#include "sim/stats.hh"
 #include "sram/retention_model.hh"
 
 using namespace voltboot;
@@ -26,22 +32,60 @@ using namespace voltboot;
 namespace
 {
 
+const std::vector<double> kTemps{-140, -110, -80, -40, 25};
+const std::vector<double> kOffsMs{0.5, 2, 20, 200};
+
 void
-printSurface(const char *name, const RetentionConfig &cfg)
+printMeasuredSramSurface()
+{
+    SweepGrid grid;
+    grid.boards = {"pi4"};
+    grid.targets = {TargetRam::DCache};
+    grid.attacks = {AttackKind::ColdBoot};
+    grid.temps_c = kTemps;
+    grid.offs_ms = kOffsMs;
+    grid.seed_count = 2;
+
+    CampaignConfig cfg;
+    cfg.seed = 0xa2;
+    Campaign campaign(grid, cfg);
+    const CampaignResult result = campaign.run();
+
+    // Mean accuracy per (off-time, temperature) cell.
+    std::map<std::pair<double, double>, RunningStats> cells;
+    for (const TrialRecord &r : result.records)
+        if (r.status == TrialStatus::Ok)
+            cells[{r.spec.off_ms, r.spec.temp_c}].add(r.accuracy);
+
+    std::cout << "\n6T SRAM measured retention accuracy (" << grid.size()
+              << " cold-boot trials, " << grid.seed_count
+              << " chips; 50% = chance):\n";
+    std::vector<std::string> header{"off \\ degC"};
+    for (double t : kTemps)
+        header.push_back(TextTable::num(t, 0));
+    TextTable table(header);
+    for (double ms : kOffsMs) {
+        std::vector<std::string> row{TextTable::num(ms, 1) + " ms"};
+        for (double t : kTemps)
+            row.push_back(TextTable::pct(cells[{ms, t}].mean(), 1));
+        table.addRow(row);
+    }
+    std::cout << table.render();
+}
+
+void
+printClosedFormSurface(const char *name, const RetentionConfig &cfg)
 {
     const RetentionModel model(cfg, CellRng(1, 1));
-    const double temps[] = {-140, -110, -80, -40, 0, 25};
-    const double offs_ms[] = {0.5, 2, 20, 200, 2000, 20000};
-
     std::cout << "\n" << name
               << " expected survival (rows: off-time; cols: degC):\n";
     std::vector<std::string> header{"off \\ degC"};
-    for (double t : temps)
+    for (double t : kTemps)
         header.push_back(TextTable::num(t, 0));
     TextTable table(header);
-    for (double ms : offs_ms) {
+    for (double ms : kOffsMs) {
         std::vector<std::string> row{TextTable::num(ms, 1) + " ms"};
-        for (double t : temps)
+        for (double t : kTemps)
             row.push_back(TextTable::pct(
                 model.expectedSurvival(Seconds::milliseconds(ms),
                                        Temperature::celsius(t)),
@@ -59,8 +103,8 @@ main()
     bench::banner("Ablation A2",
                   "retention vs temperature and off-time, SRAM vs DRAM");
 
-    printSurface("6T SRAM", RetentionConfig::sram6t());
-    printSurface("DRAM", RetentionConfig::dram());
+    printMeasuredSramSurface();
+    printClosedFormSurface("DRAM", RetentionConfig::dram());
 
     const RetentionModel sram(RetentionConfig::sram6t(), CellRng(1, 1));
     const RetentionModel dram(RetentionConfig::dram(), CellRng(1, 2));

@@ -1,0 +1,135 @@
+#include "campaign/campaign.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace voltboot
+{
+
+Campaign::Campaign(SweepGrid grid, CampaignConfig config)
+    : grid_(std::move(grid)), config_(std::move(config))
+{
+    if (!config_.runner)
+        config_.runner = [](const TrialSpec &spec, uint64_t seed) {
+            return runTrial(spec, seed);
+        };
+}
+
+CampaignResult
+Campaign::run()
+{
+    using clock = std::chrono::steady_clock;
+
+    const uint64_t total = grid_.size();
+    unsigned jobs = config_.jobs;
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    jobs = static_cast<unsigned>(
+        std::min<uint64_t>(jobs, std::max<uint64_t>(total, 1)));
+
+    CampaignResult result;
+    result.campaign_seed = config_.seed;
+    result.grid_spec = grid_.describe();
+    result.jobs = jobs;
+    result.records.resize(total);
+
+    // Small chunks keep the pool balanced when per-trial cost varies
+    // wildly across the grid (e.g. imx53 iRAM vs pi4 register trials);
+    // the atomic grab is nanoseconds against millisecond trials.
+    uint64_t chunk = config_.chunk;
+    if (chunk == 0)
+        chunk = std::max<uint64_t>(
+            1, total / (static_cast<uint64_t>(jobs) * 8));
+
+    std::atomic<uint64_t> cursor{0};
+    std::atomic<uint64_t> done{0};
+    std::mutex progress_mutex;
+    const auto t0 = clock::now();
+
+    auto elapsedSince = [](clock::time_point start) {
+        return std::chrono::duration<double>(clock::now() - start)
+            .count();
+    };
+
+    auto worker = [&]() {
+        for (;;) {
+            const uint64_t begin = cursor.fetch_add(chunk);
+            if (begin >= total)
+                break;
+            const uint64_t end = std::min(begin + chunk, total);
+            for (uint64_t i = begin; i < end; ++i) {
+                TrialRecord rec;
+                if (aborted()) {
+                    rec.spec = grid_.at(i);
+                    rec.status = TrialStatus::Skipped;
+                    rec.detail = "campaign aborted";
+                } else {
+                    const auto start = clock::now();
+                    try {
+                        rec = config_.runner(grid_.at(i), config_.seed);
+                    } catch (const std::exception &e) {
+                        rec = TrialRecord{};
+                        rec.spec = grid_.at(i);
+                        rec.status = TrialStatus::Error;
+                        rec.detail = e.what();
+                    } catch (...) {
+                        rec = TrialRecord{};
+                        rec.spec = grid_.at(i);
+                        rec.status = TrialStatus::Error;
+                        rec.detail = "unknown exception";
+                    }
+                    rec.duration_s = elapsedSince(start);
+                    if (config_.trial_timeout.seconds() > 0.0 &&
+                        rec.duration_s >
+                            config_.trial_timeout.seconds()) {
+                        rec.timed_out = true;
+                        if (config_.abort_on_timeout)
+                            requestAbort();
+                    }
+                }
+                result.records[i] = std::move(rec);
+
+                const uint64_t d =
+                    done.fetch_add(1, std::memory_order_relaxed) + 1;
+                if (config_.progress &&
+                    (d % std::max<uint64_t>(1, config_.progress_every) ==
+                         0 ||
+                     d == total)) {
+                    std::lock_guard<std::mutex> lock(progress_mutex);
+                    CampaignProgress p;
+                    p.done = d;
+                    p.total = total;
+                    p.elapsed_s = elapsedSince(t0);
+                    p.trials_per_sec =
+                        p.elapsed_s > 0.0
+                            ? static_cast<double>(d) / p.elapsed_s
+                            : 0.0;
+                    p.eta_s = p.trials_per_sec > 0.0
+                                  ? static_cast<double>(total - d) /
+                                        p.trials_per_sec
+                                  : 0.0;
+                    config_.progress(p);
+                }
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    result.wall_seconds = elapsedSince(t0);
+    return result;
+}
+
+} // namespace voltboot

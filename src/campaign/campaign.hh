@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The parallel campaign engine.
+ *
+ * Campaign::run() executes every trial of a SweepGrid on a fixed-size
+ * pool of std::threads. The work queue is an atomic cursor handing out
+ * contiguous index chunks; each worker writes its finished TrialRecords
+ * into a pre-sized result vector at the trial index, so the output
+ * layout — and, because every trial's randomness derives from
+ * (campaign seed, trial index), the output *bytes* — are identical
+ * whether the campaign ran on one thread or sixteen.
+ *
+ * Robustness: a trial that throws is captured as TrialStatus::Error and
+ * the sweep continues; requestAbort() (or a trial overrunning
+ * trial_timeout with abort_on_timeout set) marks all not-yet-started
+ * trials Skipped and lets in-flight trials finish. Trials are
+ * cooperative — a running trial cannot be preempted — so the timeout is
+ * detected at trial completion, not mid-trial.
+ */
+
+#ifndef VOLTBOOT_CAMPAIGN_CAMPAIGN_HH
+#define VOLTBOOT_CAMPAIGN_CAMPAIGN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "campaign/campaign_result.hh"
+#include "campaign/sweep_grid.hh"
+#include "campaign/trial_runner.hh"
+#include "sim/units.hh"
+
+namespace voltboot
+{
+
+/** Periodic progress report (delivered from worker threads, one at a
+ * time under an internal mutex). */
+struct CampaignProgress
+{
+    uint64_t done = 0;
+    uint64_t total = 0;
+    double elapsed_s = 0.0;
+    double trials_per_sec = 0.0;
+    double eta_s = 0.0;
+};
+
+/** Engine knobs. */
+struct CampaignConfig
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned jobs = 0;
+    /** Campaign seed: with the grid, fully determines every result. */
+    uint64_t seed = 0x5eed;
+    /** Trials handed to a worker per queue grab; 0 = auto. */
+    uint64_t chunk = 0;
+    /** Per-trial wall-clock budget; 0 = unlimited. Overruns are flagged
+     * in the record's timing fields (never in canonical output). */
+    Seconds trial_timeout{0.0};
+    /** Abort the campaign when a trial overruns trial_timeout. */
+    bool abort_on_timeout = false;
+    /** Progress callback; invoked about every progress_every trials. */
+    std::function<void(const CampaignProgress &)> progress;
+    uint64_t progress_every = 32;
+    /**
+     * Trial function; defaults to runTrial(). Replaceable for tests
+     * (e.g. fault injection) and future remote/sharded executors. May
+     * throw: the engine records the throw as TrialStatus::Error.
+     */
+    std::function<TrialRecord(const TrialSpec &, uint64_t seed)> runner;
+};
+
+/** A runnable sweep: grid + engine configuration. */
+class Campaign
+{
+  public:
+    explicit Campaign(SweepGrid grid, CampaignConfig config = {});
+
+    /** Execute every trial; blocks until the sweep completes. */
+    CampaignResult run();
+
+    /** Ask the engine to stop handing out new trials (thread-safe;
+     * callable from a progress callback or another thread). */
+    void requestAbort() { abort_.store(true, std::memory_order_relaxed); }
+    bool aborted() const
+    { return abort_.load(std::memory_order_relaxed); }
+
+    const SweepGrid &grid() const { return grid_; }
+    const CampaignConfig &config() const { return config_; }
+
+  private:
+    SweepGrid grid_;
+    CampaignConfig config_;
+    std::atomic<bool> abort_{false};
+};
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_CAMPAIGN_CAMPAIGN_HH

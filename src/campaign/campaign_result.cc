@@ -1,0 +1,225 @@
+#include "campaign/campaign_result.hh"
+
+#include <charconv>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+
+const char *
+toString(TrialStatus status)
+{
+    switch (status) {
+      case TrialStatus::Ok: return "ok";
+      case TrialStatus::AttackFailed: return "attack_failed";
+      case TrialStatus::Error: return "error";
+      case TrialStatus::Skipped: return "skipped";
+    }
+    panic("bad TrialStatus");
+}
+
+CampaignSummary
+CampaignResult::summary() const
+{
+    CampaignSummary s;
+    s.trials = records.size();
+    for (const TrialRecord &r : records) {
+        switch (r.status) {
+          case TrialStatus::Ok:
+            ++s.ok;
+            s.accuracy.add(r.accuracy);
+            s.bit_error_rate.add(r.bit_error_rate);
+            break;
+          case TrialStatus::AttackFailed:
+            ++s.attack_failed;
+            break;
+          case TrialStatus::Error:
+            ++s.errors;
+            break;
+          case TrialStatus::Skipped:
+            ++s.skipped;
+            break;
+        }
+        s.booted += r.booted;
+        s.keys_planted += r.key_planted;
+        s.keys_found += r.key_found;
+        s.keys_exact += r.key_exact;
+    }
+    return s;
+}
+
+namespace
+{
+
+/** Shortest round-trip decimal rendering (stable, locale-free). */
+std::string
+jsonNumber(double value)
+{
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    if (ec != std::errc())
+        panic("jsonNumber: to_chars failed");
+    return {buf, ptr};
+}
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+const char *
+jsonBool(bool b)
+{
+    return b ? "true" : "false";
+}
+
+} // namespace
+
+std::string
+CampaignResult::toJson(bool include_timing) const
+{
+    const CampaignSummary s = summary();
+    std::string out;
+    out.reserve(256 + records.size() * 320);
+    out += "{\n";
+    out += "  \"schema\": \"voltboot-campaign-v1\",\n";
+    out += "  \"campaign_seed\": " + std::to_string(campaign_seed) + ",\n";
+    out += "  \"grid\": " + jsonString(grid_spec) + ",\n";
+    out += "  \"trials\": " + std::to_string(s.trials) + ",\n";
+    out += "  \"summary\": {\n";
+    out += "    \"ok\": " + std::to_string(s.ok) + ",\n";
+    out += "    \"attack_failed\": " + std::to_string(s.attack_failed) +
+           ",\n";
+    out += "    \"errors\": " + std::to_string(s.errors) + ",\n";
+    out += "    \"skipped\": " + std::to_string(s.skipped) + ",\n";
+    out += "    \"booted\": " + std::to_string(s.booted) + ",\n";
+    out += "    \"mean_accuracy\": " + jsonNumber(s.accuracy.mean()) +
+           ",\n";
+    out += "    \"mean_bit_error_rate\": " +
+           jsonNumber(s.bit_error_rate.mean()) + ",\n";
+    out += "    \"keys_planted\": " + std::to_string(s.keys_planted) +
+           ",\n";
+    out += "    \"keys_found\": " + std::to_string(s.keys_found) + ",\n";
+    out += "    \"keys_exact\": " + std::to_string(s.keys_exact) + "\n";
+    out += "  },\n";
+    out += "  \"records\": [\n";
+    for (size_t i = 0; i < records.size(); ++i) {
+        const TrialRecord &r = records[i];
+        out += "    {\"index\": " + std::to_string(r.spec.index);
+        out += ", \"board\": " + jsonString(r.spec.board);
+        out += ", \"target\": " + jsonString(toString(r.spec.target));
+        out += ", \"attack\": " + jsonString(toString(r.spec.attack));
+        out += ", \"temp_c\": " + jsonNumber(r.spec.temp_c);
+        out += ", \"off_ms\": " + jsonNumber(r.spec.off_ms);
+        out += ", \"current_a\": " + jsonNumber(r.spec.current_a);
+        out += ", \"impedance_mohm\": " +
+               jsonNumber(r.spec.impedance_mohm);
+        out += ", \"seed_index\": " + std::to_string(r.spec.seed_index);
+        out += ", \"chip_seed\": " + std::to_string(r.chip_seed);
+        out += ", \"status\": " + jsonString(toString(r.status));
+        out += ", \"detail\": " + jsonString(r.detail);
+        out += ", \"probe_attached\": ";
+        out += jsonBool(r.probe_attached);
+        out += ", \"booted\": ";
+        out += jsonBool(r.booted);
+        out += ", \"dump_bytes\": " + std::to_string(r.dump_bytes);
+        out += ", \"accuracy\": " + jsonNumber(r.accuracy);
+        out += ", \"bit_error_rate\": " + jsonNumber(r.bit_error_rate);
+        out += ", \"key_planted\": ";
+        out += jsonBool(r.key_planted);
+        out += ", \"key_found\": ";
+        out += jsonBool(r.key_found);
+        out += ", \"key_exact\": ";
+        out += jsonBool(r.key_exact);
+        out += "}";
+        out += (i + 1 < records.size()) ? ",\n" : "\n";
+    }
+    out += "  ]";
+    if (include_timing) {
+        out += ",\n  \"timing\": {\n";
+        out += "    \"wall_seconds\": " + jsonNumber(wall_seconds) + ",\n";
+        out += "    \"jobs\": " + std::to_string(jobs) + ",\n";
+        out += "    \"trials_per_second\": " +
+               jsonNumber(trialsPerSecond()) + ",\n";
+        uint64_t timed_out = 0;
+        for (const TrialRecord &r : records)
+            timed_out += r.timed_out;
+        out += "    \"trials_timed_out\": " + std::to_string(timed_out) +
+               "\n  }";
+    }
+    out += "\n}\n";
+    return out;
+}
+
+std::string
+CampaignResult::toCsv() const
+{
+    std::string out =
+        "index,board,target,attack,temp_c,off_ms,current_a,"
+        "impedance_mohm,seed_index,chip_seed,status,probe_attached,"
+        "booted,dump_bytes,accuracy,bit_error_rate,key_planted,"
+        "key_found,key_exact,detail\n";
+    for (const TrialRecord &r : records) {
+        out += std::to_string(r.spec.index) + ',';
+        out += r.spec.board + ',';
+        out += std::string(toString(r.spec.target)) + ',';
+        out += std::string(toString(r.spec.attack)) + ',';
+        out += jsonNumber(r.spec.temp_c) + ',';
+        out += jsonNumber(r.spec.off_ms) + ',';
+        out += jsonNumber(r.spec.current_a) + ',';
+        out += jsonNumber(r.spec.impedance_mohm) + ',';
+        out += std::to_string(r.spec.seed_index) + ',';
+        out += std::to_string(r.chip_seed) + ',';
+        out += std::string(toString(r.status)) + ',';
+        out += std::to_string(r.probe_attached) + ',';
+        out += std::to_string(r.booted) + ',';
+        out += std::to_string(r.dump_bytes) + ',';
+        out += jsonNumber(r.accuracy) + ',';
+        out += jsonNumber(r.bit_error_rate) + ',';
+        out += std::to_string(r.key_planted) + ',';
+        out += std::to_string(r.key_found) + ',';
+        out += std::to_string(r.key_exact) + ',';
+        // Keep CSV single-line: squash separators out of free text.
+        std::string detail = r.detail;
+        for (char &c : detail)
+            if (c == ',' || c == '\n' || c == '\r')
+                c = ';';
+        out += detail + '\n';
+    }
+    return out;
+}
+
+void
+CampaignResult::writeFile(const std::string &path,
+                          const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open '", path, "' for writing");
+    out << content;
+    if (!out)
+        fatal("write to '", path, "' failed");
+}
+
+} // namespace voltboot

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Structured campaign results.
+ *
+ * Every trial produces one TrialRecord — parameters echoed back, a
+ * status, and the extraction metrics the paper reports (retention
+ * accuracy / bit-error rate, key-recovery outcome). A CampaignResult is
+ * the ordered vector of records (indexed by trial index, so the layout
+ * is schedule-independent) plus merged summaries, and renders to JSON
+ * and CSV.
+ *
+ * The canonical JSON/CSV output is bit-identical for a given
+ * (grid, campaign seed) regardless of worker count: wall-clock
+ * measurements are segregated into an optional "timing" section that is
+ * omitted by default.
+ */
+
+#ifndef VOLTBOOT_CAMPAIGN_CAMPAIGN_RESULT_HH
+#define VOLTBOOT_CAMPAIGN_CAMPAIGN_RESULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/sweep_grid.hh"
+#include "sim/stats.hh"
+
+namespace voltboot
+{
+
+/** How one trial ended. */
+enum class TrialStatus
+{
+    Ok,           ///< Extraction ran; metrics are valid.
+    AttackFailed, ///< The attack itself failed (probe/boot); no dump.
+    Error,        ///< The trial threw; detail carries the message.
+    Skipped,      ///< Campaign aborted before this trial started.
+};
+
+const char *toString(TrialStatus status);
+
+/** Outcome and metrics of a single trial. */
+struct TrialRecord
+{
+    TrialSpec spec;
+    TrialStatus status = TrialStatus::Skipped;
+    std::string detail;     ///< Failure reason / exception text.
+    uint64_t chip_seed = 0; ///< The derived silicon seed actually used.
+
+    bool probe_attached = false;
+    bool booted = false;
+
+    uint64_t dump_bytes = 0;
+    /** Fraction of dump bits matching ground truth (1.0 = perfect,
+     * ~0.5 = nothing retained). Valid only when status == Ok. */
+    double accuracy = 0.0;
+    double bit_error_rate = 0.0;
+
+    bool key_planted = false;
+    bool key_found = false;
+    bool key_exact = false;
+
+    /** Wall-clock cost; timing only, never in canonical output. */
+    double duration_s = 0.0;
+    /** The trial overran CampaignConfig::trial_timeout (timing only). */
+    bool timed_out = false;
+};
+
+/** Merged per-campaign statistics. */
+struct CampaignSummary
+{
+    uint64_t trials = 0;
+    uint64_t ok = 0;
+    uint64_t attack_failed = 0;
+    uint64_t errors = 0;
+    uint64_t skipped = 0;
+
+    RunningStats accuracy;       ///< Over Ok trials.
+    RunningStats bit_error_rate; ///< Over Ok trials.
+    uint64_t keys_planted = 0;
+    uint64_t keys_found = 0;
+    uint64_t keys_exact = 0;
+
+    /** Attack success = Ok trials that booted attacker code. */
+    uint64_t booted = 0;
+};
+
+/** Everything a campaign produced. */
+struct CampaignResult
+{
+    uint64_t campaign_seed = 0;
+    std::string grid_spec; ///< Canonical SweepGrid::describe().
+    /** One record per trial, at its trial index. */
+    std::vector<TrialRecord> records;
+
+    /** Wall-clock of the whole run (timing only). */
+    double wall_seconds = 0.0;
+    unsigned jobs = 1;
+
+    CampaignSummary summary() const;
+
+    /** Trials per second over the whole campaign. */
+    double
+    trialsPerSecond() const
+    {
+        return wall_seconds > 0.0
+                   ? static_cast<double>(records.size()) / wall_seconds
+                   : 0.0;
+    }
+
+    /**
+     * Render to JSON. With @p include_timing false (the default) the
+     * output is a pure function of (grid, campaign seed) — byte-equal
+     * across job counts and machines.
+     */
+    std::string toJson(bool include_timing = false) const;
+
+    /** Render to CSV (one record per row; canonical, no timing). */
+    std::string toCsv() const;
+
+    /** Write @p content to @p path; fatal() on I/O failure. */
+    static void writeFile(const std::string &path,
+                          const std::string &content);
+};
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_CAMPAIGN_CAMPAIGN_RESULT_HH

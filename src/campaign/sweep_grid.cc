@@ -1,0 +1,273 @@
+#include "campaign/sweep_grid.hh"
+
+#include <charconv>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+
+const char *
+toString(AttackKind kind)
+{
+    switch (kind) {
+      case AttackKind::VoltBoot: return "voltboot";
+      case AttackKind::ColdBoot: return "coldboot";
+    }
+    panic("bad AttackKind");
+}
+
+const char *
+toString(TargetRam target)
+{
+    switch (target) {
+      case TargetRam::DCache: return "dcache";
+      case TargetRam::ICache: return "icache";
+      case TargetRam::Regs: return "regs";
+      case TargetRam::Iram: return "iram";
+      case TargetRam::Tlb: return "tlb";
+      case TargetRam::Btb: return "btb";
+    }
+    panic("bad TargetRam");
+}
+
+AttackKind
+attackFromString(const std::string &name)
+{
+    if (name == "voltboot")
+        return AttackKind::VoltBoot;
+    if (name == "coldboot")
+        return AttackKind::ColdBoot;
+    fatal("unknown attack '", name, "' (voltboot|coldboot)");
+}
+
+TargetRam
+targetFromString(const std::string &name)
+{
+    if (name == "dcache")
+        return TargetRam::DCache;
+    if (name == "icache")
+        return TargetRam::ICache;
+    if (name == "regs")
+        return TargetRam::Regs;
+    if (name == "iram")
+        return TargetRam::Iram;
+    if (name == "tlb")
+        return TargetRam::Tlb;
+    if (name == "btb")
+        return TargetRam::Btb;
+    fatal("unknown target '", name,
+          "' (dcache|icache|regs|iram|tlb|btb)");
+}
+
+uint64_t
+SweepGrid::size() const
+{
+    return static_cast<uint64_t>(boards.size()) * targets.size() *
+           attacks.size() * temps_c.size() * offs_ms.size() *
+           currents_a.size() * impedances_mohm.size() *
+           plant_key.size() * seed_count;
+}
+
+TrialSpec
+SweepGrid::at(uint64_t index) const
+{
+    if (index >= size())
+        panic("SweepGrid::at: index ", index, " out of range (size ",
+              size(), ")");
+    TrialSpec spec;
+    spec.index = index;
+    uint64_t rem = index;
+    auto take = [&rem](size_t n) {
+        const uint64_t v = rem % n;
+        rem /= n;
+        return static_cast<size_t>(v);
+    };
+    // Fastest-varying axis first (seed innermost, board outermost).
+    spec.seed_index = take(static_cast<size_t>(seed_count));
+    spec.plant_key = plant_key[take(plant_key.size())];
+    spec.impedance_mohm = impedances_mohm[take(impedances_mohm.size())];
+    spec.current_a = currents_a[take(currents_a.size())];
+    spec.off_ms = offs_ms[take(offs_ms.size())];
+    spec.temp_c = temps_c[take(temps_c.size())];
+    spec.attack = attacks[take(attacks.size())];
+    spec.target = targets[take(targets.size())];
+    spec.board = boards[take(boards.size())];
+    return spec;
+}
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    const auto b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    const auto e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream in(s);
+    while (std::getline(in, item, sep))
+        out.push_back(item);
+    return out;
+}
+
+double
+parseDoubleStrict(const std::string &text, const char *what)
+{
+    const std::string t = trim(text);
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(t.data(), t.data() + t.size(), value);
+    if (ec != std::errc() || ptr != t.data() + t.size())
+        fatal("malformed ", what, " value '", text, "'");
+    return value;
+}
+
+uint64_t
+parseUintStrict(const std::string &text, const char *what)
+{
+    const std::string t = trim(text);
+    uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(t.data(), t.data() + t.size(), value);
+    if (ec != std::errc() || ptr != t.data() + t.size())
+        fatal("malformed ", what, " value '", text, "'");
+    return value;
+}
+
+std::vector<double>
+parseDoubleList(const std::string &text, const char *what)
+{
+    std::vector<double> out;
+    for (const std::string &item : split(text, ','))
+        out.push_back(parseDoubleStrict(item, what));
+    if (out.empty())
+        fatal("empty value list for ", what);
+    return out;
+}
+
+/** Shortest round-trip decimal rendering of a double. */
+std::string
+formatDouble(double value)
+{
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    if (ec != std::errc())
+        panic("formatDouble: to_chars failed");
+    return {buf, ptr};
+}
+
+std::string
+joinDoubles(const std::vector<double> &values)
+{
+    std::string out;
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out += ',';
+        out += formatDouble(values[i]);
+    }
+    return out;
+}
+
+} // namespace
+
+SweepGrid
+SweepGrid::parse(const std::string &spec)
+{
+    SweepGrid grid;
+    // Normalise newlines to ';' and strip '#' comments per line.
+    std::string flat;
+    for (const std::string &line : split(spec, '\n')) {
+        const auto hash = line.find('#');
+        flat += line.substr(0, hash);
+        flat += ';';
+    }
+    for (const std::string &raw : split(flat, ';')) {
+        const std::string entry = trim(raw);
+        if (entry.empty())
+            continue;
+        const auto eq = entry.find('=');
+        if (eq == std::string::npos)
+            fatal("grid entry '", entry, "' is not key=value");
+        const std::string key = trim(entry.substr(0, eq));
+        const std::string value = entry.substr(eq + 1);
+        if (trim(value).empty())
+            fatal("empty value list for grid key '", key, "'");
+        if (key == "board") {
+            grid.boards.clear();
+            for (const std::string &b : split(value, ','))
+                grid.boards.push_back(trim(b));
+        } else if (key == "target") {
+            grid.targets.clear();
+            for (const std::string &t : split(value, ','))
+                grid.targets.push_back(targetFromString(trim(t)));
+        } else if (key == "attack") {
+            grid.attacks.clear();
+            for (const std::string &a : split(value, ','))
+                grid.attacks.push_back(attackFromString(trim(a)));
+        } else if (key == "temp") {
+            grid.temps_c = parseDoubleList(value, "temp");
+        } else if (key == "off-ms") {
+            grid.offs_ms = parseDoubleList(value, "off-ms");
+        } else if (key == "current") {
+            grid.currents_a = parseDoubleList(value, "current");
+        } else if (key == "impedance-mohm") {
+            grid.impedances_mohm =
+                parseDoubleList(value, "impedance-mohm");
+        } else if (key == "key") {
+            grid.plant_key.clear();
+            for (const std::string &k : split(value, ',')) {
+                const uint64_t v = parseUintStrict(k, "key");
+                if (v > 1)
+                    fatal("grid key 'key' takes 0 or 1, got '", k, "'");
+                grid.plant_key.push_back(v != 0);
+            }
+        } else if (key == "seeds") {
+            grid.seed_count = parseUintStrict(value, "seeds");
+            if (grid.seed_count == 0)
+                fatal("grid key 'seeds' must be >= 1");
+        } else {
+            fatal("unknown grid key '", key,
+                  "' (board|target|attack|temp|off-ms|current|"
+                  "impedance-mohm|key|seeds)");
+        }
+    }
+    if (grid.size() == 0)
+        fatal("grid describes zero trials");
+    return grid;
+}
+
+std::string
+SweepGrid::describe() const
+{
+    std::string out = "board=";
+    for (size_t i = 0; i < boards.size(); ++i)
+        out += (i ? "," : "") + boards[i];
+    out += ";target=";
+    for (size_t i = 0; i < targets.size(); ++i)
+        out += std::string(i ? "," : "") + toString(targets[i]);
+    out += ";attack=";
+    for (size_t i = 0; i < attacks.size(); ++i)
+        out += std::string(i ? "," : "") + toString(attacks[i]);
+    out += ";temp=" + joinDoubles(temps_c);
+    out += ";off-ms=" + joinDoubles(offs_ms);
+    out += ";current=" + joinDoubles(currents_a);
+    out += ";impedance-mohm=" + joinDoubles(impedances_mohm);
+    out += ";key=";
+    for (size_t i = 0; i < plant_key.size(); ++i)
+        out += std::string(i ? "," : "") + (plant_key[i] ? "1" : "0");
+    out += ";seeds=" + std::to_string(seed_count);
+    return out;
+}
+
+} // namespace voltboot

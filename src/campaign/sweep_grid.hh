@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Sweep grids: the cartesian parameter space of an attack campaign.
+ *
+ * A SweepGrid names one value list per experimental axis — board, target
+ * memory, attack kind, ambient temperature, power-off time, probe
+ * current, probe impedance, key planting, chip-seed index — and
+ * enumerates the cartesian product lazily: trial @c i is decoded from
+ * its index with div/mod arithmetic, so a billion-trial grid costs the
+ * same memory as a one-trial grid. Grids parse from a compact
+ * `key=v1,v2;key=...` spec string (see docs/CAMPAIGN.md) and re-render
+ * canonically so a campaign's results always carry an exact description
+ * of the space they cover.
+ */
+
+#ifndef VOLTBOOT_CAMPAIGN_SWEEP_GRID_HH
+#define VOLTBOOT_CAMPAIGN_SWEEP_GRID_HH
+
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <vector>
+
+namespace voltboot
+{
+
+/** Which attack an individual trial mounts. */
+enum class AttackKind
+{
+    VoltBoot, ///< Probe the SRAM domain, power-cycle, extract.
+    ColdBoot, ///< No probe: chill, power-cycle, extract (Section 3).
+};
+
+/** Which memory the trial extracts and scores. */
+enum class TargetRam
+{
+    DCache, ///< L1 data RAM of core 0.
+    ICache, ///< L1 instruction RAM of core 0.
+    Regs,   ///< Vector register file of core 0.
+    Iram,   ///< On-chip iRAM (i.MX535 only, dumped over JTAG).
+    Tlb,    ///< DTLB entry RAM of core 0.
+    Btb,    ///< BTB entry RAM of core 0.
+};
+
+const char *toString(AttackKind kind);
+const char *toString(TargetRam target);
+AttackKind attackFromString(const std::string &name);
+TargetRam targetFromString(const std::string &name);
+
+/** One fully-specified trial: a point of the sweep grid. */
+struct TrialSpec
+{
+    uint64_t index = 0; ///< Position in the grid's enumeration order.
+    std::string board = "pi4";
+    TargetRam target = TargetRam::DCache;
+    AttackKind attack = AttackKind::VoltBoot;
+    double temp_c = 25.0;
+    double off_ms = 500.0;
+    double current_a = 3.0;        ///< Probe current limit (Volt Boot).
+    double impedance_mohm = 50.0;  ///< Probe source impedance.
+    bool plant_key = false;        ///< Plant + scan an AES-128 schedule.
+    uint64_t seed_index = 0;       ///< Chip-seed axis value.
+};
+
+/**
+ * The cartesian product of per-axis value lists.
+ *
+ * Enumeration order is fixed and documented: the board axis varies
+ * slowest and the chip-seed index fastest, with the axes in between in
+ * declaration order below. Trial indices are therefore stable
+ * identifiers for a given grid spec, independent of job count or
+ * scheduling.
+ */
+class SweepGrid
+{
+  public:
+    std::vector<std::string> boards{"pi4"};
+    std::vector<TargetRam> targets{TargetRam::DCache};
+    std::vector<AttackKind> attacks{AttackKind::VoltBoot};
+    std::vector<double> temps_c{25.0};
+    std::vector<double> offs_ms{500.0};
+    std::vector<double> currents_a{3.0};
+    std::vector<double> impedances_mohm{50.0};
+    std::vector<bool> plant_key{false};
+    /** Chip-seed indices 0..seed_count-1 (the replication axis). */
+    uint64_t seed_count = 1;
+
+    /** Number of trials in the grid (product of axis sizes). */
+    uint64_t size() const;
+
+    /** Decode trial @p index into its parameter point. */
+    TrialSpec at(uint64_t index) const;
+
+    /**
+     * Parse a `key=v1,v2;...` spec (';' or newline separated, '#'
+     * comments allowed). Unknown keys, empty value lists and malformed
+     * numbers are fatal(). Keys: board, target, attack, temp, off-ms,
+     * current, impedance-mohm, key, seeds.
+     */
+    static SweepGrid parse(const std::string &spec);
+
+    /** Canonical re-rendering of the spec (stable across parses). */
+    std::string describe() const;
+
+    /** Lazy forward iterator over TrialSpecs. */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::input_iterator_tag;
+        using value_type = TrialSpec;
+        using difference_type = std::ptrdiff_t;
+
+        const_iterator(const SweepGrid *grid, uint64_t index)
+            : grid_(grid), index_(index)
+        {}
+
+        TrialSpec operator*() const { return grid_->at(index_); }
+        const_iterator &operator++() { ++index_; return *this; }
+        const_iterator operator++(int)
+        { const_iterator old = *this; ++index_; return old; }
+        bool operator==(const const_iterator &o) const
+        { return index_ == o.index_; }
+        bool operator!=(const const_iterator &o) const
+        { return index_ != o.index_; }
+
+      private:
+        const SweepGrid *grid_;
+        uint64_t index_;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, size()}; }
+};
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_CAMPAIGN_SWEEP_GRID_HH

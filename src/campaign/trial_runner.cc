@@ -1,0 +1,210 @@
+#include "campaign/trial_runner.hh"
+
+#include <vector>
+
+#include "core/attack.hh"
+#include "crypto/key_finder.hh"
+#include "crypto/onchip_crypto.hh"
+#include "os/baremetal.hh"
+#include "os/workloads.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "soc/soc.hh"
+#include "sram/memory_image.hh"
+
+namespace voltboot
+{
+
+SocConfig
+socConfigFor(const std::string &board)
+{
+    if (board == "pi3")
+        return SocConfig::bcm2837();
+    if (board == "pi4")
+        return SocConfig::bcm2711();
+    if (board == "imx53")
+        return SocConfig::imx535();
+    fatal("unknown board '", board, "' (pi3|pi4|imx53)");
+}
+
+uint64_t
+deriveChipSeed(uint64_t campaign_seed, uint64_t seed_index)
+{
+    // Domain-separated from the trial streams so that adding axes never
+    // changes which die a given (campaign seed, seed index) names.
+    return hashCombine(hashCombine(campaign_seed, 0xc41bULL), seed_index);
+}
+
+uint64_t
+deriveTrialSeed(uint64_t campaign_seed, uint64_t trial_index)
+{
+    return hashCombine(campaign_seed, trial_index);
+}
+
+namespace
+{
+
+/** Victim staging result: what the attacker should recover. */
+struct Victim
+{
+    MemoryImage truth;
+    std::vector<uint8_t> planted_key; ///< Empty unless a key was staged.
+};
+
+/** Stage the standard victim for @p spec and capture ground truth. */
+Victim
+stageVictim(Soc &soc, const TrialSpec &spec, Rng &rng)
+{
+    Victim v;
+    BareMetalRunner runner(soc);
+    switch (spec.target) {
+      case TargetRam::DCache:
+        if (spec.plant_key) {
+            // CaSE-style victim: an AES-128 schedule locked into L1D.
+            Cache &l1d = soc.memory().l1d(0);
+            l1d.invalidateAll();
+            l1d.setEnabled(true);
+            v.planted_key.resize(16);
+            for (auto &b : v.planted_key)
+                b = static_cast<uint8_t>(rng.next());
+            const std::vector<uint8_t> binary(256, 0x90);
+            CaseExecution cas(l1d, soc.config().dram_base + 0x40000,
+                              binary, v.planted_key);
+            v.truth = l1d.dumpAll();
+        } else {
+            // Fill the whole data RAM so every bit of the dump scores
+            // against victim data (untouched lines would trivially
+            // match their own power-up fingerprint and mask decay).
+            runner.runOn(0, workloads::patternStore(
+                                soc.config().dram_base + 0x40000,
+                                soc.config().l1d.size_bytes, 0xAA));
+            v.truth = soc.memory().l1d(0).dumpAll();
+        }
+        break;
+      case TargetRam::ICache:
+        runner.runOn(0, workloads::nopFiller(
+                            soc.config().l1i.size_bytes / 4));
+        v.truth = soc.memory().l1i(0).dumpAll();
+        break;
+      case TargetRam::Regs: {
+        runner.runOn(0, workloads::vectorFill(0xFF, 0xAA));
+        // v0..v31, 16 bytes each: even registers 0xFF, odd 0xAA.
+        std::vector<uint8_t> truth(512);
+        for (size_t reg = 0; reg < 32; ++reg)
+            for (size_t b = 0; b < 16; ++b)
+                truth[reg * 16 + b] = (reg % 2 == 0) ? 0xFF : 0xAA;
+        v.truth = MemoryImage(std::move(truth));
+        break;
+      }
+      case TargetRam::Iram: {
+        if (!soc.iramArray())
+            fatal("board '", spec.board, "' has no iRAM (use imx53)");
+        std::vector<uint8_t> img(soc.config().iram_bytes);
+        for (size_t i = 0; i < img.size(); ++i)
+            img[i] = static_cast<uint8_t>(i * 7 + 3);
+        soc.jtag().writeIram(soc.config().iram_base, img);
+        v.truth = MemoryImage(std::move(img));
+        break;
+      }
+      case TargetRam::Tlb:
+        runner.runOn(0, workloads::patternStore(
+                            soc.config().dram_base + 0x40000, 8192,
+                            0xAA));
+        v.truth = soc.dtlb(0).dumpAll();
+        break;
+      case TargetRam::Btb:
+        runner.runOn(0, workloads::patternStore(
+                            soc.config().dram_base + 0x40000, 8192,
+                            0xAA));
+        v.truth = soc.btb(0).dumpAll();
+        break;
+    }
+    return v;
+}
+
+MemoryImage
+dumpTarget(VoltBootAttack &attack, TargetRam target)
+{
+    switch (target) {
+      case TargetRam::DCache: return attack.dumpL1(0, L1Ram::DData);
+      case TargetRam::ICache: return attack.dumpL1(0, L1Ram::IData);
+      case TargetRam::Regs: return attack.dumpVectorRegisters(0);
+      case TargetRam::Iram: return attack.dumpIram();
+      case TargetRam::Tlb: return attack.dumpDtlb(0);
+      case TargetRam::Btb: return attack.dumpBtb(0);
+    }
+    panic("bad TargetRam");
+}
+
+void
+score(TrialRecord &rec, const MemoryImage &dump, const Victim &victim)
+{
+    rec.dump_bytes = dump.sizeBytes();
+    rec.bit_error_rate =
+        MemoryImage::fractionalHamming(dump, victim.truth);
+    rec.accuracy = 1.0 - rec.bit_error_rate;
+    if (!victim.planted_key.empty()) {
+        rec.key_planted = true;
+        const KeyFinder finder;
+        if (const auto hit = finder.best(dump)) {
+            rec.key_found = true;
+            rec.key_exact = hit->key == victim.planted_key;
+        }
+    }
+    rec.status = TrialStatus::Ok;
+}
+
+} // namespace
+
+TrialRecord
+runTrial(const TrialSpec &spec, uint64_t campaign_seed)
+{
+    TrialRecord rec;
+    rec.spec = spec;
+    rec.chip_seed = deriveChipSeed(campaign_seed, spec.seed_index);
+    Rng rng(deriveTrialSeed(campaign_seed, spec.index));
+
+    SocConfig cfg = socConfigFor(spec.board);
+    cfg.chip_seed = rec.chip_seed;
+    Soc soc(cfg);
+    soc.setAmbient(Temperature::celsius(spec.temp_c));
+    soc.powerOn();
+    const Victim victim = stageVictim(soc, spec, rng);
+
+    if (spec.attack == AttackKind::VoltBoot) {
+        AttackConfig acfg;
+        acfg.probe_max_current = Amp(spec.current_a);
+        acfg.probe_impedance = Ohm::milliohms(spec.impedance_mohm);
+        acfg.off_time = Seconds::milliseconds(spec.off_ms);
+        VoltBootAttack attack(soc, acfg);
+        const AttackOutcome out = attack.execute();
+        rec.probe_attached = out.probe_attached;
+        rec.booted = out.rebooted_into_attacker_code;
+        if (!rec.booted) {
+            rec.status = TrialStatus::AttackFailed;
+            rec.detail = out.failure_reason;
+            return rec;
+        }
+        score(rec, dumpTarget(attack, spec.target), victim);
+    } else {
+        if (spec.target != TargetRam::DCache &&
+            spec.target != TargetRam::ICache)
+            fatal("coldboot extraction supports dcache|icache, not ",
+                  toString(spec.target));
+        ColdBootAttack attack(soc, Temperature::celsius(spec.temp_c),
+                              Seconds::milliseconds(spec.off_ms));
+        if (!attack.powerCycleAndBoot()) {
+            rec.status = TrialStatus::AttackFailed;
+            rec.detail = "boot failed (authenticated boot?)";
+            return rec;
+        }
+        rec.booted = true;
+        const L1Ram ram = spec.target == TargetRam::DCache
+                              ? L1Ram::DData
+                              : L1Ram::IData;
+        score(rec, attack.dumpL1(0, ram), victim);
+    }
+    return rec;
+}
+
+} // namespace voltboot

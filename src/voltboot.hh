@@ -14,6 +14,7 @@
  *   os/      bare-metal runner, Linux contention model, workloads
  *   crypto/  AES, on-chip crypto victims, key scanners/correctors
  *   core/    the Volt Boot / cold boot attacks, analysis, defences
+ *   campaign/ parallel attack-sweep orchestration with structured results
  */
 
 #ifndef VOLTBOOT_VOLTBOOT_HH
@@ -58,5 +59,10 @@
 #include "core/analysis.hh"
 #include "core/attack.hh"
 #include "core/countermeasures.hh"
+
+#include "campaign/campaign.hh"
+#include "campaign/campaign_result.hh"
+#include "campaign/sweep_grid.hh"
+#include "campaign/trial_runner.hh"
 
 #endif // VOLTBOOT_VOLTBOOT_HH

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Campaign engine tests: grid enumeration and parsing, scheduling
+ * determinism (same seed => byte-identical JSON at any job count),
+ * failed-trial isolation, abort semantics, and a few real end-to-end
+ * trials through the public runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "campaign/campaign.hh"
+#include "campaign/campaign_result.hh"
+#include "campaign/sweep_grid.hh"
+#include "campaign/trial_runner.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+using namespace voltboot;
+
+namespace
+{
+
+/** A cheap deterministic stand-in for runTrial: metrics are a pure
+ * function of (campaign seed, trial index), like the real thing. */
+TrialRecord
+fakeTrial(const TrialSpec &spec, uint64_t seed)
+{
+    TrialRecord rec;
+    rec.spec = spec;
+    rec.chip_seed = deriveChipSeed(seed, spec.seed_index);
+    Rng rng(deriveTrialSeed(seed, spec.index));
+    rec.status = TrialStatus::Ok;
+    rec.booted = true;
+    rec.dump_bytes = 32768;
+    rec.bit_error_rate = rng.uniform() * 0.5;
+    rec.accuracy = 1.0 - rec.bit_error_rate;
+    return rec;
+}
+
+TEST(SweepGrid, SizeIsAxisProduct)
+{
+    SweepGrid grid;
+    EXPECT_EQ(grid.size(), 1u);
+
+    grid.boards = {"pi3", "pi4"};
+    grid.temps_c = {-80.0, -40.0, 25.0};
+    grid.offs_ms = {5.0, 500.0};
+    grid.seed_count = 7;
+    EXPECT_EQ(grid.size(), 2u * 3u * 2u * 7u);
+}
+
+TEST(SweepGrid, EnumerationCoversEveryPointExactlyOnce)
+{
+    SweepGrid grid;
+    grid.boards = {"pi3", "pi4"};
+    grid.attacks = {AttackKind::VoltBoot, AttackKind::ColdBoot};
+    grid.temps_c = {-110.0, 25.0};
+    grid.seed_count = 3;
+
+    std::set<std::tuple<std::string, int, double, uint64_t>> seen;
+    uint64_t count = 0;
+    for (const TrialSpec &spec : grid) {
+        EXPECT_EQ(spec.index, count);
+        seen.insert({spec.board, static_cast<int>(spec.attack),
+                     spec.temp_c, spec.seed_index});
+        ++count;
+    }
+    EXPECT_EQ(count, grid.size());
+    EXPECT_EQ(seen.size(), grid.size()) << "duplicate grid points";
+}
+
+TEST(SweepGrid, IndexDecodeOrdering)
+{
+    SweepGrid grid;
+    grid.boards = {"pi3", "pi4"};
+    grid.temps_c = {-80.0, 25.0};
+    grid.seed_count = 2;
+
+    // Seed index varies fastest, board slowest.
+    EXPECT_EQ(grid.at(0).seed_index, 0u);
+    EXPECT_EQ(grid.at(1).seed_index, 1u);
+    EXPECT_EQ(grid.at(0).board, "pi3");
+    EXPECT_EQ(grid.at(grid.size() - 1).board, "pi4");
+    EXPECT_EQ(grid.at(0).temp_c, -80.0);
+    EXPECT_EQ(grid.at(2).temp_c, 25.0);
+}
+
+TEST(SweepGrid, ParseRoundTripsThroughDescribe)
+{
+    const SweepGrid grid = SweepGrid::parse(
+        "board=pi4,imx53;target=dcache,iram;attack=voltboot;"
+        "temp=-80,25;off-ms=0.5,500;current=3;impedance-mohm=50;"
+        "key=0;seeds=4");
+    EXPECT_EQ(grid.size(), 2u * 2u * 2u * 2u * 4u);
+    const SweepGrid reparsed = SweepGrid::parse(grid.describe());
+    EXPECT_EQ(reparsed.describe(), grid.describe());
+    EXPECT_EQ(reparsed.size(), grid.size());
+}
+
+TEST(SweepGrid, ParseAcceptsNewlinesAndComments)
+{
+    const SweepGrid grid = SweepGrid::parse(
+        "# retention surface\n"
+        "board=pi4\n"
+        "attack=coldboot   # control experiment\n"
+        "temp=-110,-80\n"
+        "seeds=2\n");
+    EXPECT_EQ(grid.size(), 4u);
+    EXPECT_EQ(grid.attacks[0], AttackKind::ColdBoot);
+}
+
+TEST(SweepGrid, ParseRejectsMalformedSpecs)
+{
+    EXPECT_THROW(SweepGrid::parse("bogus-key=1"), FatalError);
+    EXPECT_THROW(SweepGrid::parse("temp=12x"), FatalError);
+    EXPECT_THROW(SweepGrid::parse("temp="), FatalError);
+    EXPECT_THROW(SweepGrid::parse("seeds=0"), FatalError);
+    EXPECT_THROW(SweepGrid::parse("target=l9cache"), FatalError);
+    EXPECT_THROW(SweepGrid::parse("attack=warmboot"), FatalError);
+    EXPECT_THROW(SweepGrid::parse("temp"), FatalError);
+    EXPECT_THROW(SweepGrid::parse("key=2"), FatalError);
+}
+
+TEST(Campaign, JsonIsByteIdenticalAcrossJobCounts)
+{
+    SweepGrid grid;
+    grid.boards = {"pi3", "pi4"};
+    grid.temps_c = {-110.0, -40.0, 25.0};
+    grid.offs_ms = {5.0, 50.0};
+    grid.seed_count = 8; // 2*3*2*8 = 96 trials
+
+    auto runWith = [&](unsigned jobs) {
+        CampaignConfig cfg;
+        cfg.jobs = jobs;
+        cfg.seed = 1234;
+        cfg.runner = fakeTrial;
+        return Campaign(grid, cfg).run().toJson();
+    };
+    const std::string serial = runWith(1);
+    EXPECT_EQ(serial, runWith(4));
+    EXPECT_EQ(serial, runWith(8));
+}
+
+TEST(Campaign, SeedChangesResults)
+{
+    SweepGrid grid;
+    grid.seed_count = 4;
+    CampaignConfig a, b;
+    a.runner = b.runner = fakeTrial;
+    a.seed = 1;
+    b.seed = 2;
+    EXPECT_NE(Campaign(grid, a).run().toJson(),
+              Campaign(grid, b).run().toJson());
+}
+
+TEST(Campaign, ThrowingTrialIsIsolated)
+{
+    SweepGrid grid;
+    grid.seed_count = 32;
+    CampaignConfig cfg;
+    cfg.jobs = 4;
+    cfg.runner = [](const TrialSpec &spec, uint64_t seed) {
+        if (spec.index == 7)
+            fatal("injected failure");
+        if (spec.index == 11)
+            throw 42; // non-std exception
+        return fakeTrial(spec, seed);
+    };
+    const CampaignResult result = Campaign(grid, cfg).run();
+    ASSERT_EQ(result.records.size(), 32u);
+    EXPECT_EQ(result.records[7].status, TrialStatus::Error);
+    EXPECT_EQ(result.records[7].detail, "injected failure");
+    EXPECT_EQ(result.records[11].status, TrialStatus::Error);
+    EXPECT_EQ(result.records[11].detail, "unknown exception");
+    const CampaignSummary s = result.summary();
+    EXPECT_EQ(s.errors, 2u);
+    EXPECT_EQ(s.ok, 30u);
+}
+
+TEST(Campaign, UnsupportedComboRecordedAsErrorAndSweepCompletes)
+{
+    // iRAM only exists on imx53; the pi4 x iram cross combos must be
+    // captured as errors without sinking the rest of the campaign.
+    SweepGrid grid;
+    grid.boards = {"pi4"};
+    grid.targets = {TargetRam::Iram};
+    CampaignConfig cfg;
+    cfg.jobs = 1;
+    const CampaignResult result = Campaign(grid, cfg).run();
+    ASSERT_EQ(result.records.size(), 1u);
+    EXPECT_EQ(result.records[0].status, TrialStatus::Error);
+    EXPECT_NE(result.records[0].detail.find("iRAM"), std::string::npos);
+}
+
+TEST(Campaign, AbortSkipsRemainingTrials)
+{
+    SweepGrid grid;
+    grid.seed_count = 64;
+    CampaignConfig cfg;
+    cfg.jobs = 1;
+    cfg.chunk = 1;
+    std::atomic<Campaign *> self{nullptr};
+    cfg.runner = [&](const TrialSpec &spec, uint64_t seed) {
+        if (spec.index == 9)
+            self.load()->requestAbort();
+        return fakeTrial(spec, seed);
+    };
+    Campaign campaign(grid, cfg);
+    self.store(&campaign);
+    const CampaignResult result = campaign.run();
+    const CampaignSummary s = result.summary();
+    EXPECT_EQ(s.ok, 10u); // indices 0..9 ran, the rest were skipped
+    EXPECT_EQ(s.skipped, 54u);
+    EXPECT_EQ(result.records[10].status, TrialStatus::Skipped);
+    EXPECT_EQ(result.records[63].status, TrialStatus::Skipped);
+}
+
+TEST(Campaign, ProgressCallbackReportsMonotonically)
+{
+    SweepGrid grid;
+    grid.seed_count = 40;
+    CampaignConfig cfg;
+    cfg.jobs = 4;
+    cfg.runner = fakeTrial;
+    cfg.progress_every = 10;
+    std::atomic<uint64_t> last{0};
+    std::atomic<bool> saw_final{false};
+    cfg.progress = [&](const CampaignProgress &p) {
+        EXPECT_LE(p.done, p.total);
+        EXPECT_GE(p.done, last.load());
+        last.store(p.done);
+        if (p.done == p.total)
+            saw_final.store(true);
+    };
+    Campaign(grid, cfg).run();
+    EXPECT_TRUE(saw_final.load());
+}
+
+TEST(Campaign, CsvHasHeaderAndOneRowPerTrial)
+{
+    SweepGrid grid;
+    grid.seed_count = 5;
+    CampaignConfig cfg;
+    cfg.runner = fakeTrial;
+    const std::string csv = Campaign(grid, cfg).run().toCsv();
+    size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 6u); // header + 5 records
+    EXPECT_EQ(csv.find("index,board,target"), 0u);
+}
+
+TEST(Campaign, TimingSectionIsOptIn)
+{
+    SweepGrid grid;
+    CampaignConfig cfg;
+    cfg.runner = fakeTrial;
+    const CampaignResult result = Campaign(grid, cfg).run();
+    EXPECT_EQ(result.toJson().find("\"timing\""), std::string::npos);
+    EXPECT_NE(result.toJson(true).find("\"timing\""),
+              std::string::npos);
+}
+
+// --- Real-trial coverage (each trial builds a full Soc; keep small) ---
+
+TEST(TrialRunner, VoltBootDCacheIsExact)
+{
+    SweepGrid grid = SweepGrid::parse(
+        "board=pi4;target=dcache;attack=voltboot;temp=25;off-ms=5");
+    const TrialRecord rec = runTrial(grid.at(0), 99);
+    EXPECT_EQ(rec.status, TrialStatus::Ok);
+    EXPECT_TRUE(rec.probe_attached);
+    EXPECT_TRUE(rec.booted);
+    EXPECT_EQ(rec.dump_bytes, 32768u);
+    EXPECT_DOUBLE_EQ(rec.accuracy, 1.0); // the paper's 100% claim
+}
+
+TEST(TrialRunner, ColdBootAtRoomTemperatureRetainsNothing)
+{
+    SweepGrid grid = SweepGrid::parse(
+        "board=pi4;target=dcache;attack=coldboot;temp=25;off-ms=500");
+    const TrialRecord rec = runTrial(grid.at(0), 99);
+    EXPECT_EQ(rec.status, TrialStatus::Ok);
+    EXPECT_NEAR(rec.accuracy, 0.5, 0.05); // chance level
+}
+
+TEST(TrialRunner, PlantedKeyIsRecoveredUnderVoltBoot)
+{
+    SweepGrid grid = SweepGrid::parse(
+        "board=pi4;target=dcache;attack=voltboot;temp=25;off-ms=5;"
+        "key=1");
+    const TrialRecord rec = runTrial(grid.at(0), 7);
+    EXPECT_EQ(rec.status, TrialStatus::Ok);
+    EXPECT_TRUE(rec.key_planted);
+    EXPECT_TRUE(rec.key_found);
+    EXPECT_TRUE(rec.key_exact);
+}
+
+TEST(TrialRunner, SameChipSeedIndexMeansSameSilicon)
+{
+    // Two trials at different grid points but the same seed index must
+    // land on the same derived chip seed (same simulated die).
+    SweepGrid grid = SweepGrid::parse(
+        "board=pi4;attack=coldboot;temp=-110,-80;off-ms=5;seeds=2");
+    ASSERT_EQ(grid.size(), 4u);
+    EXPECT_EQ(deriveChipSeed(5, grid.at(0).seed_index),
+              deriveChipSeed(5, grid.at(2).seed_index));
+    EXPECT_NE(deriveChipSeed(5, grid.at(0).seed_index),
+              deriveChipSeed(5, grid.at(1).seed_index));
+}
+
+} // namespace

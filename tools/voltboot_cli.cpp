@@ -8,6 +8,7 @@
  *   coldboot [options]                run the cold-boot control
  *   survey   [--board NAME]           countermeasure survey
  *   retention [--tech sram|dram]      survival surface
+ *   sweep    [options]                parallel attack-sweep campaign
  *
  * Common options:
  *   --board pi3|pi4|imx53     target platform        (default pi4)
@@ -16,13 +17,28 @@
  *   --off-ms <ms>             power-off interval     (default 500)
  *   --current <amps>          probe current limit    (default 3.0)
  *   --pad <label>             probe somewhere else (wrong-domain demo)
+ *
+ * Sweep options:
+ *   --grid SPEC|FILE          sweep grid (see docs/CAMPAIGN.md)
+ *   --jobs N                  worker threads         (default: all cores)
+ *   --seed S                  campaign seed          (default 0x5eed)
+ *   --out FILE                write results as JSON
+ *   --csv FILE                write results as CSV
+ *   --timing                  include wall-clock section in the JSON
+ *
+ * Unknown flags and malformed numeric values are rejected with a usage
+ * hint and a non-zero exit code.
  */
 
+#include <charconv>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
+#include "campaign/campaign.hh"
 #include "core/analysis.hh"
 #include "core/attack.hh"
 #include "core/countermeasures.hh"
@@ -35,6 +51,52 @@ using namespace voltboot;
 
 namespace
 {
+
+/** User error that should additionally print the usage text. */
+class UsageError : public FatalError
+{
+  public:
+    using FatalError::FatalError;
+};
+
+template <typename... Args>
+[[noreturn]] void
+usageFatal(const Args &...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    throw UsageError(os.str());
+}
+
+double
+parseDouble(const std::string &flag, const std::string &text)
+{
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size())
+        usageFatal("malformed numeric value '", text, "' for ", flag);
+    return value;
+}
+
+uint64_t
+parseUint(const std::string &flag, const std::string &text)
+{
+    uint64_t value = 0;
+    // Accept 0x-prefixed seeds.
+    int base = 10;
+    const char *begin = text.data();
+    const char *end = text.data() + text.size();
+    if (text.size() > 2 && text[0] == '0' &&
+        (text[1] == 'x' || text[1] == 'X')) {
+        base = 16;
+        begin += 2;
+    }
+    const auto [ptr, ec] = std::from_chars(begin, end, value, base);
+    if (ec != std::errc() || ptr != end || begin == end)
+        usageFatal("malformed numeric value '", text, "' for ", flag);
+    return value;
+}
 
 struct Options
 {
@@ -49,13 +111,7 @@ struct Options
 SocConfig
 configFor(const std::string &board)
 {
-    if (board == "pi3")
-        return SocConfig::bcm2837();
-    if (board == "pi4")
-        return SocConfig::bcm2711();
-    if (board == "imx53")
-        return SocConfig::imx535();
-    fatal("unknown board '", board, "' (pi3|pi4|imx53)");
+    return socConfigFor(board);
 }
 
 Options
@@ -66,7 +122,7 @@ parse(int argc, char **argv, int first)
         const std::string flag = argv[i];
         auto value = [&]() -> std::string {
             if (i + 1 >= argc)
-                fatal("missing value for ", flag);
+                usageFatal("missing value for ", flag);
             return argv[++i];
         };
         if (flag == "--board")
@@ -74,15 +130,15 @@ parse(int argc, char **argv, int first)
         else if (flag == "--target")
             o.target = value();
         else if (flag == "--temp")
-            o.temp_c = std::stod(value());
+            o.temp_c = parseDouble(flag, value());
         else if (flag == "--off-ms")
-            o.off_ms = std::stod(value());
+            o.off_ms = parseDouble(flag, value());
         else if (flag == "--current")
-            o.current = std::stod(value());
+            o.current = parseDouble(flag, value());
         else if (flag == "--pad")
             o.pad = value();
         else
-            fatal("unknown option ", flag);
+            usageFatal("unknown option ", flag);
     }
     return o;
 }
@@ -165,7 +221,7 @@ cmdAttack(const Options &o)
     else if (o.target == "btb")
         dump = attack.dumpBtb(0);
     else
-        fatal("unknown target '", o.target, "'");
+        usageFatal("unknown target '", o.target, "'");
 
     std::cout << "\ndump: " << dump.sizeBytes()
               << " bytes, ones density "
@@ -236,11 +292,108 @@ cmdRetention(const std::string &tech)
     return 0;
 }
 
-void
-usage()
+struct SweepOptions
 {
-    std::cout
-        << "usage: voltboot <platforms|attack|coldboot|survey|retention>"
+    std::string grid;
+    unsigned jobs = 0; // 0 = hardware concurrency
+    uint64_t seed = 0x5eed;
+    std::string out_json;
+    std::string out_csv;
+    bool timing = false;
+    bool quiet = false;
+};
+
+SweepOptions
+parseSweep(int argc, char **argv, int first)
+{
+    SweepOptions o;
+    for (int i = first; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usageFatal("missing value for ", flag);
+            return argv[++i];
+        };
+        if (flag == "--grid")
+            o.grid = value();
+        else if (flag == "--jobs")
+            o.jobs = static_cast<unsigned>(parseUint(flag, value()));
+        else if (flag == "--seed")
+            o.seed = parseUint(flag, value());
+        else if (flag == "--out")
+            o.out_json = value();
+        else if (flag == "--csv")
+            o.out_csv = value();
+        else if (flag == "--timing")
+            o.timing = true;
+        else if (flag == "--quiet")
+            o.quiet = true;
+        else
+            usageFatal("unknown option ", flag);
+    }
+    if (o.grid.empty())
+        usageFatal("sweep requires --grid SPEC (or --grid FILE)");
+    return o;
+}
+
+int
+cmdSweep(const SweepOptions &o)
+{
+    // --grid takes an inline spec or the name of a spec file.
+    std::string spec = o.grid;
+    if (std::ifstream file(o.grid); file) {
+        std::ostringstream content;
+        content << file.rdbuf();
+        spec = content.str();
+    }
+    SweepGrid grid = SweepGrid::parse(spec);
+
+    CampaignConfig cfg;
+    cfg.jobs = o.jobs;
+    cfg.seed = o.seed;
+    if (!o.quiet)
+        cfg.progress = [](const CampaignProgress &p) {
+            std::fprintf(stderr,
+                         "\r%llu/%llu trials  %.1f trials/s  ETA %.0fs ",
+                         static_cast<unsigned long long>(p.done),
+                         static_cast<unsigned long long>(p.total),
+                         p.trials_per_sec, p.eta_s);
+            if (p.done == p.total)
+                std::fprintf(stderr, "\n");
+        };
+
+    Campaign campaign(std::move(grid), std::move(cfg));
+    const CampaignResult result = campaign.run();
+    const CampaignSummary s = result.summary();
+
+    TextTable t({"trials", "ok", "attack failed", "errors", "skipped",
+                 "mean accuracy", "trials/s"});
+    t.addRow({std::to_string(s.trials), std::to_string(s.ok),
+              std::to_string(s.attack_failed), std::to_string(s.errors),
+              std::to_string(s.skipped), TextTable::pct(s.accuracy.mean()),
+              TextTable::num(result.trialsPerSecond(), 1)});
+    std::cout << t.render();
+    if (s.keys_planted)
+        std::cout << "keys: " << s.keys_planted << " planted, "
+                  << s.keys_found << " found, " << s.keys_exact
+                  << " exact\n";
+
+    if (!o.out_json.empty()) {
+        CampaignResult::writeFile(o.out_json, result.toJson(o.timing));
+        std::cout << "wrote " << o.out_json << "\n";
+    }
+    if (!o.out_csv.empty()) {
+        CampaignResult::writeFile(o.out_csv, result.toCsv());
+        std::cout << "wrote " << o.out_csv << "\n";
+    }
+    return s.errors || s.skipped ? 1 : 0;
+}
+
+void
+usage(std::ostream &out)
+{
+    out << "usage: voltboot "
+           "<platforms|attack|coldboot|survey|retention|sweep>"
            " [options]\n"
            "  attack   --board pi3|pi4|imx53 --target "
            "dcache|icache|regs|iram|tlb|btb\n"
@@ -248,7 +401,13 @@ usage()
            "LABEL]\n"
            "  coldboot --board ... --temp C --off-ms MS\n"
            "  survey   [--board ...]\n"
-           "  retention [--target sram|dram]\n";
+           "  retention [--target sram|dram]\n"
+           "  sweep    --grid SPEC|FILE [--jobs N] [--seed S]\n"
+           "           [--out results.json] [--csv results.csv] "
+           "[--timing] [--quiet]\n"
+           "           grid SPEC example: "
+           "\"board=pi4;attack=coldboot;temp=-80,-40;off-ms=5,50;"
+           "seeds=8\"\n";
 }
 
 } // namespace
@@ -257,13 +416,15 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        usage();
+        usage(std::cout);
         return 2;
     }
     const std::string cmd = argv[1];
     try {
         if (cmd == "platforms")
             return cmdPlatforms();
+        if (cmd == "sweep")
+            return cmdSweep(parseSweep(argc, argv, 2));
         const Options o = parse(argc, argv, 2);
         if (cmd == "attack")
             return cmdAttack(o);
@@ -273,7 +434,12 @@ main(int argc, char **argv)
             return cmdSurvey(o);
         if (cmd == "retention")
             return cmdRetention(o.target == "dram" ? "dram" : "sram");
-        usage();
+        std::cerr << "error: unknown subcommand '" << cmd << "'\n";
+        usage(std::cerr);
+        return 2;
+    } catch (const UsageError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        usage(std::cerr);
         return 2;
     } catch (const FatalError &e) {
         std::cerr << "error: " << e.what() << "\n";
