@@ -13,21 +13,37 @@
  *      image, extracts the vector registers with vread/str;
  *   3. an aeskeyfind-style scan of the 512-byte register dump recovers
  *      the master key, which decrypts the stolen ciphertext.
+ *
+ * Pass a file name to also write a JSONL trace of the whole run — this
+ * is the worked example walked through in docs/TRACING.md:
+ *
+ *   ./steal_aes_key trace.jsonl
  */
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
 #include "core/attack.hh"
 #include "crypto/key_finder.hh"
 #include "crypto/onchip_crypto.hh"
 #include "soc/soc.hh"
+#include "trace/trace.hh"
 
 using namespace voltboot;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Optional observability: stream every power/sram/soc/core event of
+    // the run to argv[1] as JSONL.
+    std::optional<trace::JsonlFileSink> sink;
+    std::optional<trace::Scope> scope;
+    if (argc > 1) {
+        sink.emplace(argv[1]);
+        scope.emplace(*sink);
+    }
+
     Soc soc(SocConfig::bcm2837());
     soc.powerOn();
 

@@ -2,12 +2,33 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
+
 namespace voltboot
 {
+
+namespace
+{
+
+/** `<trace_dir>/trial_NNNNNN.jsonl` for trial @p index. */
+std::string
+tracePath(const std::string &dir, uint64_t index)
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "trial_%06llu.jsonl",
+                  static_cast<unsigned long long>(index));
+    return (std::filesystem::path(dir) / name).string();
+}
+
+} // namespace
 
 Campaign::Campaign(SweepGrid grid, CampaignConfig config)
     : grid_(std::move(grid)), config_(std::move(config))
@@ -44,6 +65,17 @@ Campaign::run()
         chunk = std::max<uint64_t>(
             1, total / (static_cast<uint64_t>(jobs) * 8));
 
+    const bool tracing = !config_.trace_dir.empty();
+    if (tracing)
+        std::filesystem::create_directories(config_.trace_dir);
+
+    // Engine metrics (queue behaviour, per-trial wall-clock). All
+    // wall-clock derived, so they end up in CampaignResult::metrics and
+    // only ever render inside the opt-in timing section.
+    trace::Metrics metrics;
+    metrics.set("campaign.jobs", static_cast<double>(jobs));
+    metrics.set("campaign.chunk", static_cast<double>(chunk));
+
     std::atomic<uint64_t> cursor{0};
     std::atomic<uint64_t> done{0};
     std::mutex progress_mutex;
@@ -55,10 +87,14 @@ Campaign::run()
     };
 
     auto worker = [&]() {
+        // Metrics is thread-safe; the registry is shared by all
+        // workers. The trace sink below is per-trial, never shared.
+        trace::MetricsScope metrics_scope(&metrics);
         for (;;) {
             const uint64_t begin = cursor.fetch_add(chunk);
             if (begin >= total)
                 break;
+            metrics.add("campaign.queue_grabs");
             const uint64_t end = std::min(begin + chunk, total);
             for (uint64_t i = begin; i < end; ++i) {
                 TrialRecord rec;
@@ -68,20 +104,50 @@ Campaign::run()
                     rec.detail = "campaign aborted";
                 } else {
                     const auto start = clock::now();
-                    try {
-                        rec = config_.runner(grid_.at(i), config_.seed);
-                    } catch (const std::exception &e) {
-                        rec = TrialRecord{};
-                        rec.spec = grid_.at(i);
-                        rec.status = TrialStatus::Error;
-                        rec.detail = e.what();
-                    } catch (...) {
-                        rec = TrialRecord{};
-                        rec.spec = grid_.at(i);
-                        rec.status = TrialStatus::Error;
-                        rec.detail = "unknown exception";
+                    trace::MemoryTraceSink sink;
+                    {
+                        // The Scope resets this thread's sim clock, so
+                        // each trial's trace starts its own timeline;
+                        // the Span's Complete event closes (and lands
+                        // in the sink) before the Scope uninstalls it.
+                        std::optional<trace::Scope> scope;
+                        std::optional<trace::Span> span;
+                        if (tracing) {
+                            scope.emplace(sink);
+                            span.emplace("campaign", "trial");
+                        }
+                        try {
+                            rec = config_.runner(grid_.at(i),
+                                                 config_.seed);
+                        } catch (const std::exception &e) {
+                            rec = TrialRecord{};
+                            rec.spec = grid_.at(i);
+                            rec.status = TrialStatus::Error;
+                            rec.detail = e.what();
+                        } catch (...) {
+                            rec = TrialRecord{};
+                            rec.spec = grid_.at(i);
+                            rec.status = TrialStatus::Error;
+                            rec.detail = "unknown exception";
+                        }
+                        if (span) {
+                            span->arg({"index", i});
+                            span->arg({"board", rec.spec.board});
+                            span->arg({"target",
+                                       toString(rec.spec.target)});
+                            span->arg({"attack",
+                                       toString(rec.spec.attack)});
+                            span->arg({"status",
+                                       toString(rec.status)});
+                        }
                     }
                     rec.duration_s = elapsedSince(start);
+                    metrics.observe("campaign.trial_wall_s",
+                                    rec.duration_s);
+                    if (tracing)
+                        CampaignResult::writeFile(
+                            tracePath(config_.trace_dir, i),
+                            trace::toJsonl(sink.events()));
                     if (config_.trial_timeout.seconds() > 0.0 &&
                         rec.duration_s >
                             config_.trial_timeout.seconds()) {
@@ -129,6 +195,7 @@ Campaign::run()
     }
 
     result.wall_seconds = elapsedSince(t0);
+    result.metrics = metrics.snapshot();
     return result;
 }
 

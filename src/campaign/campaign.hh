@@ -16,6 +16,17 @@
  * trials Skipped and lets in-flight trials finish. Trials are
  * cooperative — a running trial cannot be preempted — so the timeout is
  * detected at trial completion, not mid-trial.
+ *
+ * Observability: with CampaignConfig::trace_dir set, every trial runs
+ * under its own thread-local trace scope and its events are written to
+ * `<trace_dir>/trial_NNNNNN.jsonl`. Because trace timestamps are
+ * simulation time and each trial is hermetic, those files are
+ * byte-identical for any worker count — the determinism contract
+ * extends to traces. The engine also maintains a trace::Metrics
+ * registry (queue grabs, chunk size, per-trial wall-clock histogram)
+ * whose snapshot lands in CampaignResult::metrics; that snapshot is
+ * wall-clock derived and therefore only ever rendered in the opt-in
+ * timing section of the JSON output. See docs/TRACING.md.
  */
 
 #ifndef VOLTBOOT_CAMPAIGN_CAMPAIGN_HH
@@ -67,6 +78,12 @@ struct CampaignConfig
      * throw: the engine records the throw as TrialStatus::Error.
      */
     std::function<TrialRecord(const TrialSpec &, uint64_t seed)> runner;
+    /**
+     * When non-empty, write one deterministic JSONL trace per trial
+     * into this directory (created if absent) as trial_NNNNNN.jsonl,
+     * NNNNNN being the zero-padded trial index.
+     */
+    std::string trace_dir;
 };
 
 /** A runnable sweep: grid + engine configuration. */

@@ -1,9 +1,9 @@
 #include "campaign/campaign_result.hh"
 
-#include <charconv>
 #include <fstream>
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace voltboot
 {
@@ -57,35 +57,13 @@ namespace
 std::string
 jsonNumber(double value)
 {
-    char buf[32];
-    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
-    if (ec != std::errc())
-        panic("jsonNumber: to_chars failed");
-    return {buf, ptr};
+    return trace::jsonNumber(value);
 }
 
 std::string
 jsonString(const std::string &s)
 {
-    std::string out = "\"";
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char hex[8];
-                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
-                out += hex;
-            } else {
-                out += c;
-            }
-        }
-    }
-    out += '"';
-    return out;
+    return trace::jsonQuote(s);
 }
 
 const char *
@@ -165,8 +143,10 @@ CampaignResult::toJson(bool include_timing) const
         uint64_t timed_out = 0;
         for (const TrialRecord &r : records)
             timed_out += r.timed_out;
-        out += "    \"trials_timed_out\": " + std::to_string(timed_out) +
-               "\n  }";
+        out += "    \"trials_timed_out\": " + std::to_string(timed_out);
+        if (!metrics.empty())
+            out += ",\n    \"metrics\": " + metrics.toJson(4);
+        out += "\n  }";
     }
     out += "\n}\n";
     return out;

@@ -24,6 +24,7 @@
 
 #include "campaign/sweep_grid.hh"
 #include "sim/stats.hh"
+#include "trace/metrics.hh"
 
 namespace voltboot
 {
@@ -96,6 +97,12 @@ struct CampaignResult
     /** Wall-clock of the whole run (timing only). */
     double wall_seconds = 0.0;
     unsigned jobs = 1;
+
+    /** Engine metrics captured at the end of the run: worker-queue
+     * counters and the per-trial wall-clock histogram (count, mean,
+     * p50/p90/p99). Wall-clock derived, so rendered only inside the
+     * opt-in timing section of toJson(). */
+    trace::MetricsSnapshot metrics;
 
     CampaignSummary summary() const;
 

@@ -1,17 +1,68 @@
 #include "core/attack.hh"
 
+#include <chrono>
 #include <sstream>
 
 #include "isa/assembler.hh"
 #include "mem/memory_system.hh"
 #include "os/workloads.hh"
 #include "sim/logging.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace voltboot
 {
 
 namespace
 {
+
+/**
+ * Per-attack-step observability: one simulation-time Complete event in
+ * category "core" (deterministic, lands in the trace) plus a wall-clock
+ * duration observed into the thread's Metrics registry (non-canonical,
+ * lands only in metrics snapshots). Construction and destruction sync
+ * the trace clock with the Soc's event queue so the span brackets any
+ * simulated time the step consumed.
+ */
+class StepScope
+{
+  public:
+    StepScope(Soc &soc, std::string name)
+        : sync_(soc), soc_(soc), span_("core", name),
+          metric_("core.wall_s." + name),
+          t0_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~StepScope()
+    {
+        trace::setSimTime(soc_.eventQueue().now());
+        span_.end();
+        if (trace::Metrics *m = trace::metricsRegistry()) {
+            m->observe(metric_,
+                       std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0_)
+                           .count());
+        }
+    }
+
+    void arg(trace::Arg a) { span_.arg(std::move(a)); }
+
+  private:
+    struct ClockSync
+    {
+        explicit ClockSync(Soc &soc)
+        {
+            trace::setSimTime(soc.eventQueue().now());
+        }
+    };
+
+    ClockSync sync_; ///< Must precede span_: syncs the clock it reads.
+    Soc &soc_;
+    trace::Span span_;
+    std::string metric_;
+    std::chrono::steady_clock::time_point t0_;
+};
 
 /** Map an L1Ram selector onto (descriptor ram id, geometry). */
 void
@@ -165,10 +216,14 @@ VoltBootAttack::attachProbe()
 AttackOutcome
 VoltBootAttack::attachProbeAt(const std::string &pad_label)
 {
+    StepScope step(soc_, "attack.steps12_probe");
+    step.arg({"pad", pad_label});
+
     AttackOutcome out;
     const TestPad *pad = soc_.board().findPad(pad_label);
     if (!pad) {
         out.failure_reason = "no such test pad: " + pad_label;
+        step.arg({"attached", false});
         return out;
     }
     note("step 1: target domain " + pad->domain_name + " reachable at pad " +
@@ -185,12 +240,17 @@ VoltBootAttack::attachProbeAt(const std::string &pad_label)
     note("step 2: probe attached at " + pad_label + " (" +
          TextTable::num(probe.voltage.volts(), 2) + " V, limit " +
          TextTable::num(probe.max_current.amps(), 1) + " A)");
+    step.arg({"attached", true});
+    step.arg({"domain", pad->domain_name});
     return out;
 }
 
 AttackOutcome
 VoltBootAttack::powerCycleAndBoot()
 {
+    StepScope step(soc_, "attack.step3_power_cycle");
+    step.arg({"off_ms", config_.off_time.milliseconds()});
+
     AttackOutcome out;
     out.probe_attached = true;
 
@@ -222,6 +282,8 @@ VoltBootAttack::powerCycleAndBoot()
         booted_ = true;
         out.rebooted_into_attacker_code = true;
         note("step 3: internal ROM boot; JTAG session opened");
+        step.arg({"booted", true});
+        step.arg({"path", "jtag"});
         return out;
     }
 
@@ -233,11 +295,14 @@ VoltBootAttack::powerCycleAndBoot()
         out.failure_reason =
             "authenticated boot rejected the attacker image";
         note("step 3: FAILED - " + out.failure_reason);
+        step.arg({"booted", false});
         return out;
     }
     booted_ = true;
     out.rebooted_into_attacker_code = true;
     note("step 3: booted attacker image from USB mass storage");
+    step.arg({"booted", true});
+    step.arg({"path", "usb"});
     return out;
 }
 
@@ -269,10 +334,15 @@ VoltBootAttack::dumpL1Way(size_t core, L1Ram ram, size_t way)
 {
     if (!booted_)
         fatal("VoltBootAttack: execute() the power cycle before dumping");
+    StepScope step(soc_, "attack.step4_extract");
     unsigned ram_id;
     CacheGeometry geom;
     bool is_tag;
     ramInfo(soc_, ram, &ram_id, &geom, &is_tag);
+    step.arg({"what", "l1_way"});
+    step.arg({"core", static_cast<uint64_t>(core)});
+    step.arg({"ram_id", static_cast<uint64_t>(ram_id)});
+    step.arg({"way", static_cast<uint64_t>(way)});
 
     const uint64_t load =
         soc_.config().dram_base + config_.extractor_offset;
@@ -290,6 +360,7 @@ VoltBootAttack::dumpL1Way(size_t core, L1Ram ram, size_t way)
     note("step 4: dumped core " + std::to_string(core) + " RAM " +
          std::to_string(ram_id) + " way " + std::to_string(way) + " (" +
          std::to_string(bytes_per_way) + " bytes)");
+    step.arg({"bytes", static_cast<uint64_t>(bytes_per_way)});
     return readDumpFromDram(core, bytes_per_way);
 }
 
@@ -313,6 +384,10 @@ VoltBootAttack::dumpVectorRegisters(size_t core)
 {
     if (!booted_)
         fatal("VoltBootAttack: execute() the power cycle before dumping");
+    StepScope step(soc_, "attack.step4_extract");
+    step.arg({"what", "vector_registers"});
+    step.arg({"core", static_cast<uint64_t>(core)});
+    step.arg({"bytes", static_cast<uint64_t>(32 * 16)});
     const uint64_t load =
         soc_.config().dram_base + config_.extractor_offset;
     const uint64_t dump =
@@ -331,6 +406,9 @@ VoltBootAttack::dumpDtlb(size_t core)
 {
     if (!booted_)
         fatal("VoltBootAttack: execute() the power cycle before dumping");
+    StepScope step(soc_, "attack.step4_extract");
+    step.arg({"what", "dtlb"});
+    step.arg({"core", static_cast<uint64_t>(core)});
     const uint64_t load =
         soc_.config().dram_base + config_.extractor_offset;
     const uint64_t dump =
@@ -357,6 +435,9 @@ VoltBootAttack::dumpBtb(size_t core)
 {
     if (!booted_)
         fatal("VoltBootAttack: execute() the power cycle before dumping");
+    StepScope step(soc_, "attack.step4_extract");
+    step.arg({"what", "btb"});
+    step.arg({"core", static_cast<uint64_t>(core)});
     const uint64_t load =
         soc_.config().dram_base + config_.extractor_offset;
     const uint64_t dump =
@@ -379,6 +460,10 @@ VoltBootAttack::dumpIram()
         fatal("VoltBootAttack: execute() the power cycle before dumping");
     if (!soc_.jtag().available())
         fatal("VoltBootAttack: platform has no JTAG; use the cache path");
+    StepScope step(soc_, "attack.step4_extract");
+    step.arg({"what", "iram"});
+    step.arg({"bytes",
+              static_cast<uint64_t>(soc_.config().iram_bytes)});
     note("step 4: dumped iRAM over JTAG (" +
          std::to_string(soc_.config().iram_bytes) + " bytes)");
     return soc_.jtag().readIram(soc_.config().iram_base,
@@ -395,6 +480,9 @@ ColdBootAttack::ColdBootAttack(Soc &soc, Temperature temperature,
 bool
 ColdBootAttack::powerCycleAndBoot()
 {
+    StepScope step(soc_, "coldboot.power_cycle");
+    step.arg({"temp_c", temperature_.celsiusDegrees()});
+    step.arg({"off_ms", off_time_.milliseconds()});
     // Chill the board in the thermal chamber, no probe anywhere.
     soc_.setAmbient(temperature_);
     soc_.powerOff();

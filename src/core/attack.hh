@@ -18,6 +18,15 @@
  * ColdBootAttack is the control experiment (Section 3): same steps but
  * no probe — only low ambient temperature and the cells' intrinsic
  * retention stand between the data and oblivion.
+ *
+ * Observability: when this thread has a trace sink installed
+ * (trace::Scope), every step runs under a "core"-category span —
+ * attack.steps12_probe, attack.step3_power_cycle, attack.step4_extract,
+ * coldboot.power_cycle — stamped in simulation time with the step's
+ * parameters and outcome as args, interleaved with the power/sram/soc
+ * events the step provokes. Each step's *wall-clock* cost is observed
+ * into the thread's trace::Metrics registry (core.wall_s.<step>), never
+ * into the deterministic trace. Schema: docs/TRACING.md.
  */
 
 #ifndef VOLTBOOT_CORE_ATTACK_HH

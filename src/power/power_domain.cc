@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace voltboot
 {
@@ -42,12 +43,25 @@ PowerDomain::attachProbe(const VoltageProbe &probe)
     if (probe.voltage.volts() <= 0.0)
         fatal("PowerDomain ", name_, ": probe voltage must be positive");
     probe_ = probe;
+    if (trace::enabled()) {
+        trace::instant("power", "probe_attach",
+                       {{"domain", name_},
+                        {"voltage_v", probe.voltage.volts()},
+                        {"max_current_a", probe.max_current.amps()},
+                        {"impedance_ohm",
+                         probe.source_impedance.ohms()}});
+    }
 }
 
 void
 PowerDomain::detachProbe()
 {
     probe_.reset();
+    if (trace::enabled()) {
+        trace::instant("power", "probe_detach",
+                       {{"domain", name_},
+                        {"drops_retention", !powered_}});
+    }
     if (!powered_) {
         // Removing the probe from an unpowered domain cuts the only
         // thing keeping the cells alive: retention ends on the spot.
@@ -75,6 +89,15 @@ PowerDomain::powerUp(Seconds now, Temperature temp)
     if (off_time.seconds() < 0.0)
         panic("PowerDomain ", name_, ": time ran backwards");
 
+    trace::setSimTime(now);
+    if (trace::enabled()) {
+        trace::instant("power", "domain_power_up",
+                       {{"domain", name_},
+                        {"voltage_v", nominal_.volts()},
+                        {"off_s", off_time.seconds()},
+                        {"held_by_probe", held}});
+    }
+
     for (MemoryArray *a : loads_) {
         if (a->powerState() == PowerState::Retained)
             a->resumePowered(nominal_);
@@ -94,6 +117,12 @@ PowerDomain::scaleVoltage(Volt v)
     if (v.volts() <= 0.0)
         fatal("PowerDomain ", name_,
               ": use powerDown() to remove power, not scaleVoltage(0)");
+    if (trace::enabled()) {
+        trace::instant("power", "domain_scale",
+                       {{"domain", name_},
+                        {"from_v", current_.volts()},
+                        {"to_v", v.volts()}});
+    }
     // Scaling down kills cells whose DRV sits above the new level;
     // scaling up never resurrects them.
     if (v < current_)
@@ -111,6 +140,13 @@ PowerDomain::powerDown(Seconds now)
     powered_down_at_ = now;
     last_transient_.reset();
 
+    trace::setSimTime(now);
+    if (trace::enabled()) {
+        trace::instant("power", "domain_power_down",
+                       {{"domain", name_},
+                        {"probed", probe_.has_value()}});
+    }
+
     if (!probe_) {
         for (MemoryArray *a : loads_)
             a->powerDown();
@@ -124,6 +160,13 @@ PowerDomain::powerDown(Seconds now)
         *probe_, profile_.surge_current, profile_.retention_current,
         profile_.decap, profile_.surge_duration);
     last_transient_ = tr;
+    if (trace::enabled()) {
+        trace::instant("power", "probe_transient",
+                       {{"domain", name_},
+                        {"v_min", tr.v_min.volts()},
+                        {"v_settled", tr.v_settled.volts()},
+                        {"current_limited", tr.current_limited}});
+    }
     for (MemoryArray *a : loads_) {
         a->droopTo(tr.v_min);
         a->retainAt(tr.v_settled);

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace voltboot
 {
@@ -219,6 +220,7 @@ Soc::advanceTime(Seconds interval)
     if (interval.seconds() < 0.0)
         fatal("Soc: cannot advance time backwards");
     queue_.runUntil(queue_.now() + interval);
+    trace::setSimTime(queue_.now());
 }
 
 void
@@ -233,6 +235,13 @@ void
 Soc::runBootRom()
 {
     ++boot_count_;
+    if (trace::enabled()) {
+        trace::instant("soc", "boot_rom",
+                       {{"boot_count", boot_count_},
+                        {"sram_reset", config_.boot_sram_reset},
+                        {"videocore_l2_clobber",
+                         config_.has_videocore && l2_data_ != nullptr}});
+    }
 
     // After power-on the L1 backings must be rewired: the Cache objects
     // persist, but their controller state (LRU) is volatile. Reset it by
@@ -354,8 +363,15 @@ Soc::bootFromExternalMedia(const Program &program)
     if (config_.authenticated_boot) {
         // OEM signature check: unsigned attacker images are rejected and
         // the SoC refuses to hand over the cores (Section 8).
+        if (trace::enabled()) {
+            trace::instant("soc", "external_boot",
+                           {{"accepted", false},
+                            {"reason", "authenticated boot"}});
+        }
         return false;
     }
+    if (trace::enabled())
+        trace::instant("soc", "external_boot", {{"accepted", true}});
     loadProgram(program);
     for (unsigned core = 0; core < config_.core_count; ++core) {
         cpus_[core]->reset(program.load_address);

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace voltboot
 {
@@ -64,6 +65,7 @@ void
 MemoryArray::applyLoss(SurvivesFn survives)
 {
     const uint64_t nonce = power_up_count_;
+    uint64_t lost = 0;
     for (size_t byte = 0; byte < bytes_.size(); ++byte) {
         uint8_t v = bytes_[byte];
         uint8_t out = 0;
@@ -75,11 +77,13 @@ MemoryArray::applyLoss(SurvivesFn survives)
                 value = (v >> bit) & 1;
             } else {
                 value = agedPowerUpState(cell, p, nonce);
+                ++lost;
             }
             out |= static_cast<uint8_t>(value) << bit;
         }
         bytes_[byte] = out;
     }
+    last_cells_lost_ = lost;
 }
 
 void
@@ -129,8 +133,19 @@ MemoryArray::ensureFingerprint() const
 }
 
 void
+MemoryArray::traceTransition(PowerState from, PowerState to, Volt v) const
+{
+    trace::instant("sram", "sram_state",
+                   {{"array", name_},
+                    {"from", toString(from)},
+                    {"to", toString(to)},
+                    {"supply_v", v.volts()}});
+}
+
+void
 MemoryArray::resolveAllToPowerUp()
 {
+    last_cells_lost_ = sizeBits();
     if (!imprint_.empty()) {
         // Aged arrays need the per-cell path: imprint drift modulates
         // every power-up draw, so the cached fingerprint is invalid.
@@ -169,9 +184,12 @@ MemoryArray::powerUp(Volt v, Seconds off_time, Temperature temp)
         // retainAt() time. Just resume.
         state_ = PowerState::Powered;
         supply_ = v;
+        if (trace::enabled())
+            traceTransition(PowerState::Retained, PowerState::Powered, v);
         return;
     }
 
+    last_cells_lost_ = 0;
     if (!ever_powered_) {
         // First ever power-on: every cell resolves to its power-up state.
         resolveAllToPowerUp();
@@ -192,6 +210,15 @@ MemoryArray::powerUp(Volt v, Seconds off_time, Temperature temp)
     }
     state_ = PowerState::Powered;
     supply_ = v;
+    if (trace::enabled()) {
+        traceTransition(PowerState::Off, PowerState::Powered, v);
+        trace::instant("sram", "sram_decay",
+                       {{"array", name_},
+                        {"off_s", off_time.seconds()},
+                        {"temp_c", temp.celsiusDegrees()},
+                        {"cells_flipped", last_cells_lost_},
+                        {"size_bits", sizeBits()}});
+    }
 }
 
 void
@@ -199,8 +226,11 @@ MemoryArray::powerDown()
 {
     if (state_ == PowerState::Off)
         return;
+    const PowerState from = state_;
     state_ = PowerState::Off;
     supply_ = Volt(0.0);
+    if (trace::enabled())
+        traceTransition(from, PowerState::Off, Volt(0.0));
 }
 
 void
@@ -211,9 +241,12 @@ MemoryArray::retainAt(Volt v)
               ": cannot retain an already-unpowered array");
     // Cells that need more than the retention voltage lose state now.
     droopTo(v);
+    const PowerState from = state_;
     state_ = PowerState::Retained;
     supply_ = v;
     ever_powered_ = true;
+    if (trace::enabled())
+        traceTransition(from, PowerState::Retained, v);
 }
 
 void
@@ -221,15 +254,23 @@ MemoryArray::droopTo(Volt v_min)
 {
     if (state_ == PowerState::Off)
         panic("MemoryArray ", name_, ": droop while Off");
-    if (v_min >= model_.config().drv_max)
-        return; // above every possible DRV: nothing can flip
-    if (v_min <= model_.config().drv_min) {
+    last_cells_lost_ = 0;
+    if (v_min >= model_.config().drv_max) {
+        // Above every possible DRV: nothing can flip.
+    } else if (v_min <= model_.config().drv_min) {
         resolveAllToPowerUp();
-        return;
+    } else {
+        applyLoss([&](const CellParams &p) {
+            return model_.survivesAtVoltage(p, v_min);
+        });
     }
-    applyLoss([&](const CellParams &p) {
-        return model_.survivesAtVoltage(p, v_min);
-    });
+    if (trace::enabled()) {
+        trace::instant("sram", "sram_droop",
+                       {{"array", name_},
+                        {"v_min", v_min.volts()},
+                        {"cells_flipped", last_cells_lost_},
+                        {"size_bits", sizeBits()}});
+    }
 }
 
 void
@@ -240,6 +281,8 @@ MemoryArray::resumePowered(Volt v)
               toString(state_));
     state_ = PowerState::Powered;
     supply_ = v;
+    if (trace::enabled())
+        traceTransition(PowerState::Retained, PowerState::Powered, v);
 }
 
 uint8_t

@@ -130,6 +130,11 @@ class MemoryArray
     /** Number of power-up events so far (metastable-cell nonce). */
     uint64_t powerUpCount() const { return power_up_count_; }
 
+    /** Cells resolved to their power-up state by the most recent loss
+     * event (decay past retention time, droop below DRV, or a full
+     * power-up resolution). Diagnostics / trace reporting. */
+    uint64_t lastCellsLost() const { return last_cells_lost_; }
+
     /**
      * Circuit aging / data imprinting (the Section 9.2 attack family):
      * holding a value for years of powered operation shifts the cell's
@@ -157,9 +162,13 @@ class MemoryArray
     std::string name_;
     std::vector<uint8_t> bytes_;
     RetentionModel model_;
+    /** Emit a "sram_state" trace event for the @p from -> @p to edge. */
+    void traceTransition(PowerState from, PowerState to, Volt v) const;
+
     PowerState state_ = PowerState::Off;
     Volt supply_{0.0};
     uint64_t power_up_count_ = 0;
+    uint64_t last_cells_lost_ = 0;
     bool ever_powered_ = false;
     /** Cached stable power-up state (metastable cells excluded). */
     mutable std::vector<uint8_t> fingerprint_;

@@ -1,0 +1,121 @@
+#include "trace/metrics.hh"
+
+#include <algorithm>
+
+#include "trace/trace.hh"
+
+namespace voltboot
+{
+namespace trace
+{
+
+void
+Metrics::add(const std::string &name, double delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[name] += delta;
+}
+
+void
+Metrics::set(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    gauges_[name] = value;
+}
+
+void
+Metrics::observe(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    histograms_[name].push_back(value);
+}
+
+namespace
+{
+
+/** Nearest-rank percentile of an already-sorted sample vector. */
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    const size_t n = sorted.size();
+    const size_t rank = std::min(
+        n - 1, static_cast<size_t>(q * static_cast<double>(n)));
+    return sorted[rank];
+}
+
+} // namespace
+
+MetricsSnapshot
+Metrics::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    snap.counters = counters_;
+    snap.gauges = gauges_;
+    for (const auto &[name, samples] : histograms_) {
+        if (samples.empty())
+            continue;
+        std::vector<double> sorted = samples;
+        std::sort(sorted.begin(), sorted.end());
+        HistogramSummary h;
+        h.count = sorted.size();
+        double sum = 0.0;
+        for (double v : sorted)
+            sum += v;
+        h.mean = sum / static_cast<double>(sorted.size());
+        h.min = sorted.front();
+        h.max = sorted.back();
+        h.p50 = percentile(sorted, 0.50);
+        h.p90 = percentile(sorted, 0.90);
+        h.p99 = percentile(sorted, 0.99);
+        snap.histograms[name] = h;
+    }
+    return snap;
+}
+
+std::string
+Metrics::toJson() const
+{
+    return snapshot().toJson();
+}
+
+std::string
+MetricsSnapshot::toJson(int indent) const
+{
+    const std::string pad(static_cast<size_t>(indent), ' ');
+    std::string out = "{\n";
+    out += pad + "  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters) {
+        out += first ? "\n" : ",\n";
+        out += pad + "    " + jsonQuote(name) + ": " + jsonNumber(value);
+        first = false;
+    }
+    out += first ? "},\n" : "\n" + pad + "  },\n";
+    out += pad + "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : gauges) {
+        out += first ? "\n" : ",\n";
+        out += pad + "    " + jsonQuote(name) + ": " + jsonNumber(value);
+        first = false;
+    }
+    out += first ? "},\n" : "\n" + pad + "  },\n";
+    out += pad + "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        out += first ? "\n" : ",\n";
+        out += pad + "    " + jsonQuote(name) + ": {\"count\": " +
+               std::to_string(h.count) + ", \"mean\": " +
+               jsonNumber(h.mean) + ", \"min\": " + jsonNumber(h.min) +
+               ", \"max\": " + jsonNumber(h.max) + ", \"p50\": " +
+               jsonNumber(h.p50) + ", \"p90\": " + jsonNumber(h.p90) +
+               ", \"p99\": " + jsonNumber(h.p99) + "}";
+        first = false;
+    }
+    out += first ? "}\n" : "\n" + pad + "  }\n";
+    out += pad + "}";
+    return out;
+}
+
+} // namespace trace
+} // namespace voltboot

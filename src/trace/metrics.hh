@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A small metrics registry: counters, gauges and histograms.
+ *
+ * Metrics complement the event trace (trace/trace.hh): where the trace
+ * answers "what happened, when, in simulation time", metrics aggregate
+ * *cost* — wall-clock durations, queue grabs, trial counts — and are
+ * therefore explicitly **non-canonical**: two runs of the same campaign
+ * produce the same trace bytes but different metric values. Canonical
+ * outputs (campaign JSON/CSV records, trace files) must never embed a
+ * metrics snapshot; CampaignResult keeps its snapshot in the opt-in
+ * timing section for exactly this reason.
+ *
+ * The registry is thread-safe (one mutex; registration and observation
+ * are far off any per-cell hot path) so a campaign's worker pool can
+ * share one registry. Snapshots are order-independent: counters sum,
+ * gauges keep their last value, histogram summaries are computed from
+ * the sorted sample set — so a snapshot of deterministic observations
+ * is itself deterministic regardless of thread schedule.
+ */
+
+#ifndef VOLTBOOT_TRACE_METRICS_HH
+#define VOLTBOOT_TRACE_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace voltboot
+{
+namespace trace
+{
+
+/** Order statistics of one histogram's samples. */
+struct HistogramSummary
+{
+    uint64_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+};
+
+/**
+ * A plain-value copy of a registry's state at one instant.
+ *
+ * Copyable and comparable; CampaignResult embeds one so sweep outputs
+ * can carry per-trial timing percentiles without holding a live
+ * (mutex-owning) registry.
+ */
+struct MetricsSnapshot
+{
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSummary> histograms;
+
+    bool
+    empty() const
+    {
+        return counters.empty() && gauges.empty() && histograms.empty();
+    }
+
+    /**
+     * Render as a JSON object with sorted keys. @p indent is the number
+     * of leading spaces applied to every line after the first, so the
+     * snapshot can be embedded in a larger document.
+     */
+    std::string toJson(int indent = 0) const;
+};
+
+/** Counters / gauges / histograms, keyed by dotted names
+ * (e.g. "campaign.trial_wall_s"). */
+class Metrics
+{
+  public:
+    /** Add @p delta to counter @p name (created at zero). */
+    void add(const std::string &name, double delta = 1.0);
+
+    /** Set gauge @p name to @p value. */
+    void set(const std::string &name, double value);
+
+    /** Record one sample into histogram @p name. Samples are retained
+     * so snapshots can report exact percentiles; intended for
+     * per-trial/per-step cardinality, not per-cell. */
+    void observe(const std::string &name, double value);
+
+    /** Copy out the current state. */
+    MetricsSnapshot snapshot() const;
+
+    /** snapshot().toJson() convenience. */
+    std::string toJson() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, double> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, std::vector<double>> histograms_;
+};
+
+} // namespace trace
+} // namespace voltboot
+
+#endif // VOLTBOOT_TRACE_METRICS_HH

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repository's markdown files.
+
+Scans every tracked *.md file for inline links/images ``[text](target)``
+and reference definitions ``[label]: target``, resolves relative targets
+against the linking file's directory, and reports any that do not exist.
+External schemes (http/https/mailto) and pure in-page anchors (#...) are
+skipped; a fragment on a relative link (FILE.md#section) is stripped
+before the existence check. Exit code 1 if anything is broken.
+
+Usage: tools/check_md_links.py [repo_root]
+"""
+
+import os
+import re
+import subprocess
+import sys
+import urllib.parse
+
+INLINE = re.compile(r"!?\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.M)
+FENCE = re.compile(r"^(```|~~~).*?^\1", re.M | re.S)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root):
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+         "*.md", "**/*.md"],
+        cwd=root, capture_output=True, text=True, check=True)
+    return sorted(set(out.stdout.split()))
+
+
+def targets(text):
+    # Links inside fenced code blocks are examples, not navigation.
+    text = FENCE.sub("", text)
+    for match in INLINE.finditer(text):
+        yield match.group(1)
+    for match in REFDEF.finditer(text):
+        yield match.group(1)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    broken = []
+    checked = 0
+    for md in markdown_files(root):
+        path = os.path.join(root, md)
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for target in targets(text):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            rel = urllib.parse.unquote(target.split("#", 1)[0])
+            if not rel:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), rel))
+            checked += 1
+            if not os.path.exists(resolved):
+                broken.append(f"{md}: broken link -> {target}")
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(f"checked {checked} relative links, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

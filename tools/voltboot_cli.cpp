@@ -17,6 +17,9 @@
  *   --off-ms <ms>             power-off interval     (default 500)
  *   --current <amps>          probe current limit    (default 3.0)
  *   --pad <label>             probe somewhere else (wrong-domain demo)
+ *   --trace FILE              write a JSONL event trace
+ *   --trace-chrome FILE       write a chrome://tracing / Perfetto trace
+ *   --metrics FILE            write the wall-clock metrics snapshot
  *
  * Sweep options:
  *   --grid SPEC|FILE          sweep grid (see docs/CAMPAIGN.md)
@@ -25,6 +28,11 @@
  *   --out FILE                write results as JSON
  *   --csv FILE                write results as CSV
  *   --timing                  include wall-clock section in the JSON
+ *   --trace-dir DIR           one deterministic JSONL trace per trial
+ *   --metrics FILE            write the engine metrics snapshot
+ *
+ * Trace files are deterministic (simulation-time stamps only); metrics
+ * files carry wall-clock timings and are not. See docs/TRACING.md.
  *
  * Unknown flags and malformed numeric values are rejected with a usage
  * hint and a non-zero exit code.
@@ -33,12 +41,15 @@
 #include <charconv>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
 
 #include "campaign/campaign.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 #include "core/analysis.hh"
 #include "core/attack.hh"
 #include "core/countermeasures.hh"
@@ -106,6 +117,10 @@ struct Options
     double off_ms = 500.0;
     double current = 3.0;
     std::string pad; // empty = the platform's documented attack pad
+
+    std::string trace;        // JSONL trace output, empty = off
+    std::string trace_chrome; // Chrome trace-event output, empty = off
+    std::string metrics;      // wall-clock metrics snapshot, empty = off
 };
 
 SocConfig
@@ -137,10 +152,54 @@ parse(int argc, char **argv, int first)
             o.current = parseDouble(flag, value());
         else if (flag == "--pad")
             o.pad = value();
+        else if (flag == "--trace")
+            o.trace = value();
+        else if (flag == "--trace-chrome")
+            o.trace_chrome = value();
+        else if (flag == "--metrics")
+            o.metrics = value();
         else
             usageFatal("unknown option ", flag);
     }
     return o;
+}
+
+/**
+ * Run @p body under this thread's trace/metrics scopes when any of the
+ * observability flags were given, then write the requested files. The
+ * trace files carry only simulation-time stamps and are deterministic;
+ * the metrics file is wall-clock derived and is not.
+ */
+int
+withObservability(const Options &o, const std::function<int()> &body)
+{
+    if (o.trace.empty() && o.trace_chrome.empty() && o.metrics.empty())
+        return body();
+
+    trace::MemoryTraceSink sink;
+    trace::Metrics metrics;
+    int rc;
+    {
+        trace::Scope scope(sink);
+        trace::MetricsScope metrics_scope(&metrics);
+        rc = body();
+    }
+    if (!o.trace.empty()) {
+        CampaignResult::writeFile(o.trace, trace::toJsonl(sink.events()));
+        std::cout << "wrote " << o.trace << " (" << sink.events().size()
+                  << " events)\n";
+    }
+    if (!o.trace_chrome.empty()) {
+        CampaignResult::writeFile(o.trace_chrome,
+                                  trace::toChromeTrace(sink.events()));
+        std::cout << "wrote " << o.trace_chrome << "\n";
+    }
+    if (!o.metrics.empty()) {
+        CampaignResult::writeFile(o.metrics,
+                                  metrics.snapshot().toJson() + "\n");
+        std::cout << "wrote " << o.metrics << "\n";
+    }
+    return rc;
 }
 
 int
@@ -301,6 +360,8 @@ struct SweepOptions
     std::string out_csv;
     bool timing = false;
     bool quiet = false;
+    std::string trace_dir; // per-trial JSONL traces, empty = off
+    std::string metrics;   // engine metrics snapshot, empty = off
 };
 
 SweepOptions
@@ -328,6 +389,10 @@ parseSweep(int argc, char **argv, int first)
             o.timing = true;
         else if (flag == "--quiet")
             o.quiet = true;
+        else if (flag == "--trace-dir")
+            o.trace_dir = value();
+        else if (flag == "--metrics")
+            o.metrics = value();
         else
             usageFatal("unknown option ", flag);
     }
@@ -351,6 +416,7 @@ cmdSweep(const SweepOptions &o)
     CampaignConfig cfg;
     cfg.jobs = o.jobs;
     cfg.seed = o.seed;
+    cfg.trace_dir = o.trace_dir;
     if (!o.quiet)
         cfg.progress = [](const CampaignProgress &p) {
             std::fprintf(stderr,
@@ -386,6 +452,14 @@ cmdSweep(const SweepOptions &o)
         CampaignResult::writeFile(o.out_csv, result.toCsv());
         std::cout << "wrote " << o.out_csv << "\n";
     }
+    if (!o.trace_dir.empty())
+        std::cout << "wrote " << s.trials << " trial traces to "
+                  << o.trace_dir << "\n";
+    if (!o.metrics.empty()) {
+        CampaignResult::writeFile(o.metrics,
+                                  result.metrics.toJson() + "\n");
+        std::cout << "wrote " << o.metrics << "\n";
+    }
     return s.errors || s.skipped ? 1 : 0;
 }
 
@@ -399,12 +473,15 @@ usage(std::ostream &out)
            "dcache|icache|regs|iram|tlb|btb\n"
            "           [--temp C] [--off-ms MS] [--current A] [--pad "
            "LABEL]\n"
-           "  coldboot --board ... --temp C --off-ms MS\n"
+           "           [--trace FILE.jsonl] [--trace-chrome FILE.json] "
+           "[--metrics FILE]\n"
+           "  coldboot --board ... --temp C --off-ms MS [--trace ...]\n"
            "  survey   [--board ...]\n"
            "  retention [--target sram|dram]\n"
            "  sweep    --grid SPEC|FILE [--jobs N] [--seed S]\n"
            "           [--out results.json] [--csv results.csv] "
            "[--timing] [--quiet]\n"
+           "           [--trace-dir DIR] [--metrics FILE]\n"
            "           grid SPEC example: "
            "\"board=pi4;attack=coldboot;temp=-80,-40;off-ms=5,50;"
            "seeds=8\"\n";
@@ -427,9 +504,9 @@ main(int argc, char **argv)
             return cmdSweep(parseSweep(argc, argv, 2));
         const Options o = parse(argc, argv, 2);
         if (cmd == "attack")
-            return cmdAttack(o);
+            return withObservability(o, [&] { return cmdAttack(o); });
         if (cmd == "coldboot")
-            return cmdColdBoot(o);
+            return withObservability(o, [&] { return cmdColdBoot(o); });
         if (cmd == "survey")
             return cmdSurvey(o);
         if (cmd == "retention")
