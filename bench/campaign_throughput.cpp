@@ -7,9 +7,15 @@
  * track the engine's scaling trajectory. Also asserts the engine's core
  * promise while it is at it: the canonical JSON of every run is
  * byte-identical regardless of job count.
+ *
+ * Flags (for CI smoke runs):
+ *   --trials N       approximate trial count (rounded up to the nearest
+ *                    even number: the grid runs 2 attacks per seed)
+ *   --jobs A,B,...   explicit worker-thread counts to sweep
  */
 
 #include <algorithm>
+#include <charconv>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -32,11 +38,66 @@ jsonNum(double v)
     return buf;
 }
 
+[[noreturn]] void
+usageFatal(const std::string &detail)
+{
+    std::cerr << "campaign_throughput: " << detail << "\n"
+              << "usage: campaign_throughput [--trials N] "
+                 "[--jobs A,B,...]\n";
+    std::exit(2);
+}
+
+uint64_t
+parseUint(const std::string &flag, const std::string &text)
+{
+    uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size() ||
+        text.empty())
+        usageFatal("malformed value '" + text + "' for " + flag);
+    return value;
+}
+
+std::vector<unsigned>
+parseJobsList(const std::string &text)
+{
+    std::vector<unsigned> jobs;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        const size_t comma = std::min(text.find(',', pos), text.size());
+        const std::string item = text.substr(pos, comma - pos);
+        const uint64_t j = parseUint("--jobs", item);
+        if (j == 0)
+            usageFatal("--jobs entries must be >= 1");
+        jobs.push_back(static_cast<unsigned>(j));
+        pos = comma + 1;
+    }
+    return jobs;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    uint64_t trials = 0;        // 0 = the default 12-trial grid
+    std::vector<unsigned> jobs; // empty = the default 1/4/N sweep
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usageFatal("missing value for " + flag);
+            return argv[++i];
+        };
+        if (flag == "--trials")
+            trials = parseUint(flag, value());
+        else if (flag == "--jobs")
+            jobs = parseJobsList(value());
+        else
+            usageFatal("unknown option " + flag);
+    }
+
     bench::banner("P2", "campaign engine throughput (1/4/N threads)");
 
     SweepGrid grid;
@@ -46,15 +107,18 @@ main()
     grid.temps_c = {25.0};
     grid.offs_ms = {5.0};
     grid.seed_count = 6; // 12 trials: enough to keep every worker busy
+    if (trials > 0)
+        grid.seed_count = std::max<uint64_t>(1, (trials + 1) / 2);
 
     const unsigned hw =
         std::max(1u, std::thread::hardware_concurrency());
-    std::vector<unsigned> job_counts{1, 4, hw};
-    // Dedupe while preserving order (hw may be 1 or 4).
-    std::vector<unsigned> jobs;
-    for (unsigned j : job_counts)
-        if (std::find(jobs.begin(), jobs.end(), j) == jobs.end())
-            jobs.push_back(j);
+    if (jobs.empty()) {
+        // Default sweep, deduped while preserving order (hw may be 1
+        // or 4).
+        for (unsigned j : {1u, 4u, hw})
+            if (std::find(jobs.begin(), jobs.end(), j) == jobs.end())
+                jobs.push_back(j);
+    }
 
     TextTable table({"jobs", "wall (s)", "trials/s", "speedup vs 1"});
     std::string baseline_json;

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * P3 — retention hot-path throughput (BENCH_retention.json artefact).
+ *
+ * Times the three state transitions the attack stack spends its life
+ * in — full power-up resolution, unpowered decay, and a supply droop —
+ * under each retention kernel (reference scalar path, fast threshold
+ * path, fast with cached raw planes), reporting cells/sec and the
+ * speedup over the reference path. The kernels are bit-exact by
+ * construction; this bench re-asserts it by comparing every final
+ * snapshot and loss count against the reference run before reporting.
+ *
+ * Flags:
+ *   --bytes N   array size in bytes       (default 262144)
+ *   --reps N    timed repetitions         (default 8)
+ *   --smoke     CI preset: small array, few reps
+ */
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/analysis.hh"
+#include "sram/memory_array.hh"
+#include "sram/retention_kernel.hh"
+
+using namespace voltboot;
+
+namespace
+{
+
+std::string
+jsonNum(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+}
+
+[[noreturn]] void
+usageFatal(const std::string &detail)
+{
+    std::cerr << "retention_microbench: " << detail << "\n"
+              << "usage: retention_microbench [--bytes N] [--reps N] "
+                 "[--smoke]\n";
+    std::exit(2);
+}
+
+uint64_t
+parseUint(const std::string &flag, const std::string &text)
+{
+    uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size() ||
+        text.empty())
+        usageFatal("malformed value '" + text + "' for " + flag);
+    return value;
+}
+
+/** RAII: select a kernel, restore the previous one on scope exit. */
+class KernelScope
+{
+  public:
+    explicit KernelScope(RetentionKernel k) : saved_(retentionKernel())
+    {
+        setRetentionKernel(k);
+    }
+    ~KernelScope() { setRetentionKernel(saved_); }
+
+  private:
+    RetentionKernel saved_;
+};
+
+struct ScenarioRun
+{
+    double seconds = 0.0;
+    uint64_t last_lost = 0;
+    std::vector<uint8_t> snapshot;
+};
+
+/**
+ * One timed scenario under the currently selected kernel. The array is
+ * rebuilt per run (same seed => same silicon), warmed with one untimed
+ * iteration so FastCached pays its plane-build cost outside the timed
+ * region, mirroring steady-state campaign use.
+ */
+ScenarioRun
+runScenario(const std::string &scenario, size_t bytes, unsigned reps)
+{
+    SramArray array("bench", bytes, /*chip_seed=*/0x7e57, /*array_id=*/3);
+    const Volt vdd(1.0);
+    array.powerUp(vdd);
+    array.fill(0xA5);
+
+    const auto iteration = [&]() {
+        if (scenario == "powerup_resolve") {
+            array.powerDown();
+            array.powerUp(vdd); // everything resolves to fingerprint
+        } else if (scenario == "decay_survival") {
+            array.powerDown();
+            array.powerUp(vdd, Seconds::milliseconds(20),
+                          Temperature::celsius(-110));
+        } else { // droop
+            array.droopTo(Volt::millivolts(250));
+        }
+    };
+
+    iteration(); // warm-up: fingerprint + cached planes
+    ScenarioRun run;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned r = 0; r < reps; ++r)
+        iteration();
+    const auto t1 = std::chrono::steady_clock::now();
+    run.seconds = std::chrono::duration<double>(t1 - t0).count();
+    run.last_lost = array.lastCellsLost();
+    run.snapshot = array.snapshot();
+    return run;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t bytes = 256 * 1024;
+    unsigned reps = 8;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usageFatal("missing value for " + flag);
+            return argv[++i];
+        };
+        if (flag == "--bytes")
+            bytes = parseUint(flag, value());
+        else if (flag == "--reps")
+            reps = static_cast<unsigned>(parseUint(flag, value()));
+        else if (flag == "--smoke") {
+            bytes = 16 * 1024;
+            reps = 2;
+        } else {
+            usageFatal("unknown option " + flag);
+        }
+    }
+    if (bytes == 0 || reps == 0)
+        usageFatal("--bytes and --reps must be >= 1");
+
+    bench::banner("P3", "retention kernel throughput (cells/sec)");
+    std::cout << "array: " << bytes << " bytes (" << bytes * 8
+              << " cells), " << reps << " reps per scenario\n\n";
+
+    const RetentionKernel kernels[] = {RetentionKernel::Reference,
+                                       RetentionKernel::Fast,
+                                       RetentionKernel::FastCached};
+    const char *scenarios[] = {"powerup_resolve", "decay_survival",
+                               "droop"};
+
+    std::string artefact = "{\n  \"bench\": \"retention_microbench\",\n"
+                           "  \"bytes\": " +
+                           std::to_string(bytes) +
+                           ",\n  \"reps\": " + std::to_string(reps) +
+                           ",\n  \"scenarios\": [\n";
+    TextTable table({"scenario", "kernel", "cells/s", "speedup vs ref"});
+    bool first_scenario = true;
+    for (const char *scenario : scenarios) {
+        artefact += std::string(first_scenario ? "" : ",\n") +
+                    "    {\"scenario\": \"" + scenario +
+                    "\", \"kernels\": [\n";
+        first_scenario = false;
+        ScenarioRun reference;
+        bool first_kernel = true;
+        for (RetentionKernel kernel : kernels) {
+            KernelScope scope(kernel);
+            const ScenarioRun run = runScenario(scenario, bytes, reps);
+            if (kernel == RetentionKernel::Reference) {
+                reference = run;
+            } else if (run.snapshot != reference.snapshot ||
+                       run.last_lost != reference.last_lost) {
+                std::cout << "ERROR: " << toString(kernel)
+                          << " diverges from reference on " << scenario
+                          << "!\n";
+                return 1;
+            }
+            const double cells_per_sec =
+                run.seconds > 0.0
+                    ? static_cast<double>(bytes) * 8.0 * reps /
+                          run.seconds
+                    : 0.0;
+            const double ref_cps =
+                reference.seconds > 0.0
+                    ? static_cast<double>(bytes) * 8.0 * reps /
+                          reference.seconds
+                    : 0.0;
+            const double speedup =
+                ref_cps > 0.0 ? cells_per_sec / ref_cps : 0.0;
+            table.addRow({scenario, toString(kernel),
+                          TextTable::num(cells_per_sec / 1e6, 1) + "M",
+                          TextTable::num(speedup, 1) + "x"});
+            artefact += std::string(first_kernel ? "" : ",\n") +
+                        "      {\"kernel\": \"" + toString(kernel) +
+                        "\", \"seconds\": " + jsonNum(run.seconds) +
+                        ", \"cells_per_second\": " +
+                        jsonNum(cells_per_sec) +
+                        ", \"speedup_vs_reference\": " +
+                        jsonNum(speedup) + "}";
+            first_kernel = false;
+        }
+        artefact += "\n    ]}";
+    }
+    artefact += "\n  ]\n}\n";
+
+    std::cout << table.render();
+    std::cout << "(all kernels byte-identical per scenario)\n";
+    bench::saveArtefact("BENCH_retention.json", artefact);
+    return 0;
+}

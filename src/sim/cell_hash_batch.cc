@@ -1,0 +1,117 @@
+#include "sim/cell_hash_batch.hh"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define VOLTBOOT_X86_WIDE_LANES 1
+#else
+#define VOLTBOOT_X86_WIDE_LANES 0
+#endif
+
+namespace voltboot
+{
+
+namespace
+{
+
+#if VOLTBOOT_X86_WIDE_LANES
+
+bool
+wideLanesSupported()
+{
+    static const bool ok = __builtin_cpu_supports("avx512f") &&
+                           __builtin_cpu_supports("avx512dq");
+    return ok;
+}
+
+/** splitmix64 in eight 64-bit lanes (identical mod 2^64 per lane). */
+__attribute__((target("avx512f,avx512dq"))) inline __m512i
+splitmixLanes(__m512i x)
+{
+    const __m512i inc = _mm512_set1_epi64(
+        static_cast<long long>(0x9e3779b97f4a7c15ULL));
+    const __m512i m1 = _mm512_set1_epi64(
+        static_cast<long long>(0xbf58476d1ce4e5b9ULL));
+    const __m512i m2 = _mm512_set1_epi64(
+        static_cast<long long>(0x94d049bb133111ebULL));
+    x = _mm512_add_epi64(x, inc);
+    x = _mm512_mullo_epi64(
+        _mm512_xor_si512(x, _mm512_srli_epi64(x, 30)), m1);
+    x = _mm512_mullo_epi64(
+        _mm512_xor_si512(x, _mm512_srli_epi64(x, 27)), m2);
+    return _mm512_xor_si512(x, _mm512_srli_epi64(x, 31));
+}
+
+/**
+ * Eight bits() chains per iteration. The scalar chain is
+ *
+ *   inner  = splitmix64(cell ^ (channel + K + (cell<<6) + (cell>>2)))
+ *   outer  = splitmix64(base ^ (inner + K + (base<<6) + (base>>2)))
+ *   result = splitmix64(outer)
+ *
+ * with K the splitmix increment; every step is add/xor/shift/mullo,
+ * identical mod 2^64 in 64-bit lanes.
+ */
+__attribute__((target("avx512f,avx512dq"))) void
+cellBitsAvx512(uint64_t base, uint64_t cell0, uint64_t channel,
+               unsigned n, uint64_t *out)
+{
+    constexpr uint64_t kInc = 0x9e3779b97f4a7c15ULL;
+    const __m512i chan_k = _mm512_set1_epi64(
+        static_cast<long long>(channel + kInc));
+    const __m512i base_v =
+        _mm512_set1_epi64(static_cast<long long>(base));
+    const __m512i base_k = _mm512_set1_epi64(static_cast<long long>(
+        kInc + (base << 6) + (base >> 2)));
+    const __m512i step = _mm512_set1_epi64(8);
+    __m512i cell = _mm512_add_epi64(
+        _mm512_set1_epi64(static_cast<long long>(cell0)),
+        _mm512_setr_epi64(0, 1, 2, 3, 4, 5, 6, 7));
+    unsigned i = 0;
+    for (; i + 8 <= n; i += 8, cell = _mm512_add_epi64(cell, step)) {
+        // hashCombine(cell, channel)
+        __m512i t = _mm512_xor_si512(
+            cell,
+            _mm512_add_epi64(
+                chan_k, _mm512_add_epi64(_mm512_slli_epi64(cell, 6),
+                                         _mm512_srli_epi64(cell, 2))));
+        const __m512i inner = splitmixLanes(t);
+        // hashCombine(base, inner)
+        t = _mm512_xor_si512(base_v, _mm512_add_epi64(inner, base_k));
+        const __m512i result = splitmixLanes(splitmixLanes(t));
+        _mm512_storeu_si512(out + i, result);
+    }
+    // Scalar tail for ragged batch sizes.
+    for (; i < n; ++i)
+        out[i] = splitmix64(
+            hashCombine(base, hashCombine(cell0 + i, channel)));
+}
+
+#endif // VOLTBOOT_X86_WIDE_LANES
+
+} // namespace
+
+bool
+cellHashBatchAccelerated()
+{
+#if VOLTBOOT_X86_WIDE_LANES
+    return wideLanesSupported();
+#else
+    return false;
+#endif
+}
+
+void
+cellBitsBatch(const CellRng &rng, uint64_t cell0, uint64_t channel,
+              unsigned n, uint64_t *out)
+{
+#if VOLTBOOT_X86_WIDE_LANES
+    if (wideLanesSupported()) {
+        cellBitsAvx512(rng.hashBase(), cell0, channel, n, out);
+        return;
+    }
+#endif
+    for (unsigned i = 0; i < n; ++i)
+        out[i] = rng.bits(cell0 + i, channel);
+}
+
+} // namespace voltboot

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Batched per-cell hashing for the retention fast kernels.
+ *
+ * The threshold kernels in src/sram/ spend their time deriving
+ * CellRng::bits(cell, channel) for runs of consecutive cells. The
+ * splitmix64 chains of neighbouring cells are independent, so they map
+ * directly onto 64-bit vector lanes; on x86-64 hosts with AVX-512DQ
+ * (vpmullq: eight 64-bit multiplies per instruction) the batched path
+ * computes eight chains at once. Lane arithmetic is identical mod 2^64
+ * to the scalar path, so results are bit-exact with CellRng::bits —
+ * hosts without the extension (or non-x86 builds) take the scalar loop
+ * and produce the same values.
+ */
+
+#ifndef VOLTBOOT_SIM_CELL_HASH_BATCH_HH
+#define VOLTBOOT_SIM_CELL_HASH_BATCH_HH
+
+#include <cstdint>
+
+#include "sim/rng.hh"
+
+namespace voltboot
+{
+
+/**
+ * Fill out[i] = rng.bits(cell0 + i, channel) for i in [0, n).
+ * Bit-exact with per-cell CellRng::bits on every host.
+ */
+void cellBitsBatch(const CellRng &rng, uint64_t cell0, uint64_t channel,
+                   unsigned n, uint64_t *out);
+
+/** True when the wide-lane path is compiled in and the CPU supports
+ * it (diagnostics/benchmarks; callers never need to check). */
+bool cellHashBatchAccelerated();
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_SIM_CELL_HASH_BATCH_HH

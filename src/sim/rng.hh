@@ -120,6 +120,13 @@ class CellRng
         : base_(hashCombine(chip_seed, array_id))
     {}
 
+    /**
+     * Number of distinct raw uniform values (2^53): rawUniform() is in
+     * [0, kRawUniformBuckets) and uniformFromRaw(kRawUniformBuckets)
+     * would be exactly 1.0.
+     */
+    static constexpr uint64_t kRawUniformBuckets = uint64_t{1} << 53;
+
     /** Raw 64-bit hash for (cell, channel). */
     uint64_t
     bits(uint64_t cell, uint64_t channel) const
@@ -127,11 +134,62 @@ class CellRng
         return splitmix64(hashCombine(base_, hashCombine(cell, channel)));
     }
 
+    /**
+     * The 53-bit integer behind uniform(): uniform(cell, channel) ==
+     * uniformFromRaw(rawUniform(cell, channel)) exactly. Threshold
+     * kernels compare these integers directly instead of re-deriving
+     * the transcendental per-cell parameters (see docs/PERFORMANCE.md).
+     */
+    uint64_t
+    rawUniform(uint64_t cell, uint64_t channel) const
+    {
+        return bits(cell, channel) >> 11;
+    }
+
+    /** The uniform double a 53-bit raw value maps to; exact (a 53-bit
+     * integer scaled by a power of two is representable). */
+    static double
+    uniformFromRaw(uint64_t raw)
+    {
+        return static_cast<double>(raw) * 0x1.0p-53;
+    }
+
+    /**
+     * How many raw uniform values map below @p x: |{raw : uniformFromRaw
+     * (raw) < x}|, clamped to [0, kRawUniformBuckets]. Exact for every
+     * double x: raw * 2^-53 < x  <=>  raw < x * 2^53 (both sides exact
+     * in double: the left is representable, the right is an exponent
+     * shift), and for integer raw that is raw < ceil(x * 2^53).
+     */
+    static uint64_t
+    rawUniformCountBelow(double x)
+    {
+        if (!(x > 0.0))
+            return 0;
+        const double scaled = x * 0x1.0p53;
+        if (scaled >= 0x1.0p53)
+            return kRawUniformBuckets;
+        return static_cast<uint64_t>(std::ceil(scaled));
+    }
+
     /** Uniform double in [0, 1) for (cell, channel). */
     double
     uniform(uint64_t cell, uint64_t channel) const
     {
-        return static_cast<double>(bits(cell, channel) >> 11) * 0x1.0p-53;
+        return uniformFromRaw(rawUniform(cell, channel));
+    }
+
+    /**
+     * The full uniform -> standard-normal transform used by gaussian():
+     * exposed so threshold searches can evaluate the exact per-cell
+     * math for an arbitrary raw uniform value. Weakly monotone
+     * non-decreasing in u (clampOpen is flat at the edges, Acklam's
+     * approximation is increasing).
+     */
+    static double
+    gaussianFromUniform(double u)
+    {
+        return inverseNormalCdf(clampOpen(u));
     }
 
     /**
@@ -142,11 +200,15 @@ class CellRng
     double
     gaussian(uint64_t cell, uint64_t channel) const
     {
-        return inverseNormalCdf(clampOpen(uniform(cell, channel)));
+        return gaussianFromUniform(uniform(cell, channel));
     }
 
     /** Inverse of the standard normal CDF (Acklam's rational approx). */
     static double inverseNormalCdf(double p);
+
+    /** The (chip seed, array id) hash bits() mixes into every draw —
+     * exposed for the batched hashing kernel (cell_hash_batch.hh). */
+    uint64_t hashBase() const { return base_; }
 
   private:
     static double

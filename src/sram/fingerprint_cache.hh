@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Process-wide cache of per-array power-up planes.
+ *
+ * Everything a MemoryArray derives at first power-up — the stable
+ * power-up fingerprint, the metastable mask, the rank index and integer
+ * draw thresholds behind metastable re-rolls, and the fully resolved
+ * first-power-on contents — is a pure function of the die identity
+ * (chip seed, array id, array size, metastable calibration). Campaign
+ * trials construct a fresh Soc per trial, and sweep grids deliberately
+ * reuse dies across attack kinds, so without a cache every trial
+ * re-hashes tens of millions of cells to rebuild planes an earlier
+ * trial already derived. This cache shares them: keyed by the exact
+ * inputs of the derivation, immutable once built, LRU-evicted under a
+ * byte cap, and safe to share across campaign worker threads (values
+ * are deterministic, so a cache hit can never change simulation
+ * output).
+ */
+
+#ifndef VOLTBOOT_SRAM_FINGERPRINT_CACHE_HH
+#define VOLTBOOT_SRAM_FINGERPRINT_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace voltboot
+{
+
+/** Immutable per-die power-up planes (see MemoryArray). */
+struct FingerprintPlanes
+{
+    /** Stable power-up state, metastable cells at their nonce-1 draw. */
+    std::vector<uint8_t> fingerprint;
+    /** Bit mask of metastable cells. */
+    std::vector<uint8_t> metastable_mask;
+    /** Per 64-cell word: number of metastable cells in preceding
+     * words — the rank index into meta_theta_raw. */
+    std::vector<uint32_t> meta_rank;
+    /** Per metastable cell (rank order): integer draw threshold. */
+    std::vector<uint64_t> meta_theta_raw;
+    /** Array contents after the first power-on (nonce-1 metastable
+     * draws applied) — the state every fresh trial starts from. */
+    std::vector<uint8_t> initial_bytes;
+
+    /** Approximate heap footprint, for the cache byte cap. */
+    size_t footprint() const;
+};
+
+/** Identity of a derivation: every input the planes depend on. */
+struct FingerprintKey
+{
+    uint64_t chip_seed = 0;
+    uint64_t array_id = 0;
+    uint64_t size_bytes = 0;
+    double metastable_fraction = 0.0;
+    double metastable_bias_min = 0.0;
+    double metastable_bias_max = 0.0;
+
+    bool operator==(const FingerprintKey &other) const = default;
+};
+
+/**
+ * Return the cached planes for @p key, building them with @p build on a
+ * miss. Thread-safe. The returned pointer stays valid for the caller's
+ * lifetime even if the entry is evicted.
+ */
+std::shared_ptr<const FingerprintPlanes>
+acquireFingerprintPlanes(const FingerprintKey &key,
+                         const std::function<FingerprintPlanes()> &build);
+
+/** Cache observability (tests, diagnostics). */
+struct FingerprintCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;
+    uint64_t bytes = 0;
+};
+
+FingerprintCacheStats fingerprintCacheStats();
+
+/** Drop every cached entry and reset the counters (tests). */
+void clearFingerprintCache();
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_SRAM_FINGERPRINT_CACHE_HH

@@ -1,13 +1,90 @@
 #include "sram/memory_array.hh"
 
+#include <bit>
 #include <cmath>
 #include <cstring>
 
+#include "sim/cell_hash_batch.hh"
 #include "sim/logging.hh"
+#include "sram/retention_kernel.hh"
 #include "trace/trace.hh"
 
 namespace voltboot
 {
+
+namespace
+{
+
+/** Above this many cells the FastCached raw planes (8 bytes per cell
+ * per channel) are not worth their memory; hash on the fly instead. */
+constexpr uint64_t kPlaneCacheMaxBits = uint64_t{1} << 24;
+
+/**
+ * Load/store up to 8 bytes as one word (tail-safe), with byte i of
+ * memory always occupying word bits [8i, 8i+8) so a word bit index
+ * equals cell_index - 64 * word_index regardless of host endianness.
+ */
+inline uint64_t
+loadWord(const uint8_t *p, size_t nbytes)
+{
+    uint64_t v = 0;
+    if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(&v, p, nbytes);
+    } else {
+        for (size_t i = 0; i < nbytes; ++i)
+            v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    }
+    return v;
+}
+
+inline void
+storeWord(uint8_t *p, uint64_t v, size_t nbytes)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(p, &v, nbytes);
+    } else {
+        for (size_t i = 0; i < nbytes; ++i)
+            p[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+}
+
+/**
+ * Re-roll every metastable cell of @p bytes in place at power-up nonce
+ * @p nonce, via the planes' cached integer draw thresholds. Only words
+ * with metastable bits are touched.
+ */
+void
+rerollMetastable(std::vector<uint8_t> &bytes,
+                 const FingerprintPlanes &planes, const CellRng &rng,
+                 uint64_t nonce)
+{
+    const size_t nbytes = bytes.size();
+    for (size_t w = 0; w * 8 < nbytes; ++w) {
+        const size_t base_byte = w * 8;
+        const size_t nb = std::min<size_t>(8, nbytes - base_byte);
+        uint64_t ms = loadWord(&planes.metastable_mask[base_byte], nb);
+        if (!ms)
+            continue;
+        const uint64_t cell0 = base_byte * 8;
+        // Bits come out of the scan in ascending order, which is
+        // exactly rank order: the threshold index just increments.
+        uint32_t idx = planes.meta_rank[w];
+        uint64_t word = loadWord(&bytes[base_byte], nb);
+        do {
+            const int b = std::countr_zero(ms);
+            ms &= ms - 1;
+            const uint64_t cell = cell0 + b;
+            const uint64_t draw =
+                rng.rawUniform(hashCombine(cell, nonce),
+                               RetentionModel::ChannelMetastableDraw);
+            const uint64_t value = draw < planes.meta_theta_raw[idx++];
+            word = (word & ~(uint64_t{1} << b)) | (value << b);
+        } while (ms);
+        storeWord(&bytes[base_byte], word, nb);
+    }
+}
+
+} // namespace
 
 const char *
 toString(PowerState state)
@@ -27,7 +104,8 @@ MemoryArray::MemoryArray(std::string name, size_t size_bytes,
                          const RetentionConfig &config, uint64_t chip_seed,
                          uint64_t array_id)
     : name_(std::move(name)), bytes_(size_bytes, 0),
-      model_(config, CellRng(chip_seed, array_id))
+      model_(config, CellRng(chip_seed, array_id)),
+      chip_seed_(chip_seed), array_id_(array_id)
 {
     if (size_bytes == 0)
         fatal("MemoryArray ", name_, ": size must be nonzero");
@@ -116,20 +194,183 @@ MemoryArray::imprintYears(uint64_t bit) const
 void
 MemoryArray::ensureFingerprint() const
 {
-    if (!fingerprint_.empty())
+    if (planes_)
         return;
-    fingerprint_.assign(bytes_.size(), 0);
-    metastable_mask_.assign(bytes_.size(), 0);
-    for (size_t byte = 0; byte < bytes_.size(); ++byte) {
-        uint8_t fp = 0, ms = 0;
-        for (int bit = 0; bit < 8; ++bit) {
-            const CellParams p = model_.cellParams(byte * 8 + bit);
-            fp |= static_cast<uint8_t>(p.power_up_bit) << bit;
-            ms |= static_cast<uint8_t>(p.metastable) << bit;
+    FingerprintKey key;
+    key.chip_seed = chip_seed_;
+    key.array_id = array_id_;
+    key.size_bytes = bytes_.size();
+    key.metastable_fraction = model_.config().metastable_fraction;
+    key.metastable_bias_min = model_.config().metastable_bias_min;
+    key.metastable_bias_max = model_.config().metastable_bias_max;
+    planes_ = acquireFingerprintPlanes(
+        key, [this] { return buildFingerprintPlanes(); });
+}
+
+FingerprintPlanes
+MemoryArray::buildFingerprintPlanes() const
+{
+    FingerprintPlanes planes;
+    const size_t nbytes = bytes_.size();
+    planes.fingerprint.assign(nbytes, 0);
+    planes.metastable_mask.assign(nbytes, 0);
+    planes.meta_rank.assign((nbytes + 7) / 8, 0);
+
+    // Only the power-up and stability channels matter here; deriving
+    // them directly (and turning the stability compare into an integer
+    // threshold on the raw hash — exact, see CellRng::
+    // rawUniformCountBelow) skips the two inverse-normal-CDF
+    // evaluations cellParams() would burn per cell. The stable/
+    // metastable split is hoisted once into these planes; power-up
+    // re-rolls later touch only words with metastable bits. The mask
+    // loops are branchless 64-cell passes (the per-cell hash chains are
+    // independent, so they pipeline); only the metastable minority pays
+    // for a bias threshold.
+    const CellRng &rng = model_.rng();
+    const uint64_t meta_min_raw = CellRng::rawUniformCountBelow(
+        model_.config().metastable_fraction);
+    planes.meta_theta_raw.reserve(static_cast<size_t>(
+        static_cast<double>(sizeBits()) *
+            model_.config().metastable_fraction +
+        64.0));
+    for (size_t w = 0; w * 8 < nbytes; ++w) {
+        const size_t base_byte = w * 8;
+        const size_t nb = std::min<size_t>(8, nbytes - base_byte);
+        const uint64_t cell0 = base_byte * 8;
+        const unsigned ncells = static_cast<unsigned>(nb * 8);
+        uint64_t hashes[64];
+        uint64_t fp = 0, ms = 0;
+        cellBitsBatch(rng, cell0, RetentionModel::ChannelPowerUp, ncells,
+                      hashes);
+        for (unsigned b = 0; b < ncells; ++b)
+            fp |= (hashes[b] & 1) << b;
+        cellBitsBatch(rng, cell0, RetentionModel::ChannelStability,
+                      ncells, hashes);
+        for (unsigned b = 0; b < ncells; ++b)
+            ms |= static_cast<uint64_t>((hashes[b] >> 11) <
+                                        meta_min_raw)
+                  << b;
+        storeWord(&planes.fingerprint[base_byte], fp, nb);
+        storeWord(&planes.metastable_mask[base_byte], ms, nb);
+        planes.meta_rank[w] =
+            static_cast<uint32_t>(planes.meta_theta_raw.size());
+        while (ms) {
+            const int b = std::countr_zero(ms);
+            ms &= ms - 1;
+            planes.meta_theta_raw.push_back(
+                CellRng::rawUniformCountBelow(
+                    model_.metastableTheta(cell0 + b)));
         }
-        fingerprint_[byte] = fp;
-        metastable_mask_[byte] = ms;
     }
+    // First-power-on contents: the fingerprint with every metastable
+    // cell at its nonce-1 draw. Trials all start from this exact state,
+    // so sharing it turns their first power-up into a memcpy.
+    planes.initial_bytes = planes.fingerprint;
+    rerollMetastable(planes.initial_bytes, planes, rng, /*nonce=*/1);
+    return planes;
+}
+
+bool
+MemoryArray::fastKernelEnabled() const
+{
+    // Aging imprint modulates every power-up draw per cell, so aged
+    // arrays always take the reference path.
+    return imprint_.empty() &&
+           retentionKernel() != RetentionKernel::Reference;
+}
+
+const uint64_t *
+MemoryArray::cachedPlane(uint64_t channel) const
+{
+    if (retentionKernel() != RetentionKernel::FastCached)
+        return nullptr;
+    if (sizeBits() > kPlaneCacheMaxBits)
+        return nullptr;
+    auto &plane = channel == RetentionModel::ChannelDrv
+                      ? drv_raw_plane_
+                      : retention_raw_plane_;
+    if (plane.empty()) {
+        const CellRng &rng = model_.rng();
+        const uint64_t nbits = sizeBits();
+        plane.resize(nbits);
+        for (uint64_t cell0 = 0; cell0 < nbits; cell0 += 64) {
+            const unsigned n = static_cast<unsigned>(
+                std::min<uint64_t>(64, nbits - cell0));
+            cellBitsBatch(rng, cell0, channel, n, &plane[cell0]);
+            for (unsigned b = 0; b < n; ++b)
+                plane[cell0 + b] >>= 11;
+        }
+    }
+    return plane.data();
+}
+
+template <typename ScalarDiesFn>
+void
+MemoryArray::applyLossFast(uint64_t channel,
+                           RetentionModel::ThresholdBand band,
+                           bool loss_at_or_above, ScalarDiesFn scalarDies)
+{
+    ensureFingerprint();
+    const uint64_t nonce = power_up_count_;
+    const CellRng &rng = model_.rng();
+    const uint64_t *plane = cachedPlane(channel);
+    const size_t nbytes = bytes_.size();
+    uint64_t lost = 0;
+    // One integer compare per cell classifies everything outside the
+    // guard band; the expected number of in-band cells per transition
+    // is ~band_width / 2^53 * size_bits ~ 1e-3, so the scalar fallback
+    // never shows up in profiles.
+    const auto classify = [&](uint64_t cell, uint64_t raw) -> bool {
+        if (raw < band.lo || raw >= band.hi)
+            return (raw >= band.lo) == loss_at_or_above;
+        return scalarDies(cell);
+    };
+    for (size_t w = 0; w * 8 < nbytes; ++w) {
+        const size_t base_byte = w * 8;
+        const size_t nb = std::min<size_t>(8, nbytes - base_byte);
+        const uint64_t cell0 = base_byte * 8;
+        const unsigned ncells = static_cast<unsigned>(nb * 8);
+        uint64_t loss = 0;
+        if (plane) {
+            for (unsigned b = 0; b < ncells; ++b) {
+                const bool dies = classify(cell0 + b, plane[cell0 + b]);
+                loss |= static_cast<uint64_t>(dies) << b;
+            }
+        } else {
+            uint64_t hashes[64];
+            cellBitsBatch(rng, cell0, channel, ncells, hashes);
+            for (unsigned b = 0; b < ncells; ++b) {
+                const bool dies = classify(cell0 + b, hashes[b] >> 11);
+                loss |= static_cast<uint64_t>(dies) << b;
+            }
+        }
+        if (!loss)
+            continue; // whole word survives untouched
+        lost += std::popcount(loss);
+        const uint64_t cur = loadWord(&bytes_[base_byte], nb);
+        const uint64_t fp = loadWord(&planes_->fingerprint[base_byte], nb);
+        const uint64_t ms =
+            loadWord(&planes_->metastable_mask[base_byte], nb);
+        uint64_t next = (cur & ~loss) | (fp & loss & ~ms);
+        uint64_t meta_lost = loss & ms;
+        if (meta_lost) {
+            const uint32_t rank0 = planes_->meta_rank[w];
+            do {
+                const int b = std::countr_zero(meta_lost);
+                meta_lost &= meta_lost - 1;
+                const uint64_t cell = cell0 + b;
+                const uint32_t idx =
+                    rank0 + std::popcount(ms & ((uint64_t{1} << b) - 1));
+                const uint64_t draw =
+                    rng.rawUniform(hashCombine(cell, nonce),
+                                   RetentionModel::ChannelMetastableDraw);
+                const uint64_t value = draw < planes_->meta_theta_raw[idx];
+                next = (next & ~(uint64_t{1} << b)) | (value << b);
+            } while (meta_lost);
+        }
+        storeWord(&bytes_[base_byte], next, nb);
+    }
+    last_cells_lost_ = lost;
 }
 
 void
@@ -152,12 +393,16 @@ MemoryArray::resolveAllToPowerUp()
         applyLoss([](const CellParams &) { return false; });
         return;
     }
+    if (fastKernelEnabled()) {
+        resolveAllToPowerUpFast();
+        return;
+    }
     ensureFingerprint();
     const uint64_t nonce = power_up_count_;
-    bytes_ = fingerprint_;
+    bytes_ = planes_->fingerprint;
     // Metastable cells re-roll on every power-up.
     for (size_t byte = 0; byte < bytes_.size(); ++byte) {
-        const uint8_t ms = metastable_mask_[byte];
+        const uint8_t ms = planes_->metastable_mask[byte];
         if (!ms)
             continue;
         for (int bit = 0; bit < 8; ++bit) {
@@ -169,6 +414,24 @@ MemoryArray::resolveAllToPowerUp()
                            (static_cast<uint8_t>(value) << bit);
         }
     }
+}
+
+void
+MemoryArray::resolveAllToPowerUpFast()
+{
+    ensureFingerprint();
+    const uint64_t nonce = power_up_count_;
+    if (nonce == 1) {
+        // First ever power-on: the nonce-1 resolve is precomputed in
+        // the shared planes.
+        bytes_ = planes_->initial_bytes;
+        return;
+    }
+    // Metastable cells re-roll on every power-up; stable cells are
+    // fully resolved by the fingerprint copy, so only words with
+    // metastable bits are touched, via cached integer draw thresholds.
+    bytes_ = planes_->fingerprint;
+    rerollMetastable(bytes_, *planes_, model_.rng(), nonce);
 }
 
 void
@@ -202,9 +465,21 @@ MemoryArray::powerUp(Volt v, Seconds off_time, Temperature temp)
         if (p_survive < 1e-12) {
             resolveAllToPowerUp();
         } else if (p_survive <= 1.0 - 1e-12) {
-            applyLoss([&](const CellParams &p) {
-                return model_.survivesUnpowered(p, off_time, temp);
-            });
+            if (fastKernelEnabled()) {
+                // Survive iff the raw retention hash is at/above the
+                // band, i.e. lose iff below it.
+                applyLossFast(
+                    RetentionModel::ChannelRetention,
+                    model_.decaySurvivalBand(off_time, temp),
+                    /*loss_at_or_above=*/false, [&](uint64_t cell) {
+                        return !model_.survivesUnpowered(
+                            model_.cellParams(cell), off_time, temp);
+                    });
+            } else {
+                applyLoss([&](const CellParams &p) {
+                    return model_.survivesUnpowered(p, off_time, temp);
+                });
+            }
         }
         // else: everything survives; contents untouched.
     }
@@ -259,6 +534,15 @@ MemoryArray::droopTo(Volt v_min)
         // Above every possible DRV: nothing can flip.
     } else if (v_min <= model_.config().drv_min) {
         resolveAllToPowerUp();
+    } else if (fastKernelEnabled()) {
+        // A cell dies iff its raw DRV hash is at/above the band
+        // (higher hash => higher DRV).
+        applyLossFast(RetentionModel::ChannelDrv,
+                      model_.droopLossBand(v_min),
+                      /*loss_at_or_above=*/true, [&](uint64_t cell) {
+                          return !model_.survivesAtVoltage(
+                              model_.cellParams(cell), v_min);
+                      });
     } else {
         applyLoss([&](const CellParams &p) {
             return model_.survivesAtVoltage(p, v_min);

@@ -18,12 +18,14 @@
 #define VOLTBOOT_SRAM_MEMORY_ARRAY_HH
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "sim/rng.hh"
 #include "sim/units.hh"
+#include "sram/fingerprint_cache.hh"
 #include "sram/retention_model.hh"
 
 namespace voltboot
@@ -151,13 +153,43 @@ class MemoryArray
 
   private:
     void requirePowered(const char *op) const;
-    /** Resolve every cell that fails @p survives to its power-up state. */
+    /** Reference kernel: resolve every cell that fails @p survives to
+     * its power-up state, evaluating the full per-cell parameter
+     * derivation (splitmix chains + inverse normal CDF) per cell. */
     template <typename SurvivesFn>
     void applyLoss(SurvivesFn survives);
-    /** Fast path: every cell resolves to its power-up state. */
+    /**
+     * Fast kernel: same result as applyLoss, but survival is one
+     * integer compare of the cell's raw uniform hash on @p channel
+     * against the threshold band (a cell at/above the band dies iff
+     * @p loss_at_or_above; the rare hash inside the band is resolved by
+     * @p scalarDies, the exact per-cell predicate), derived 64 cells at
+     * a time into a loss bitmask and applied with word-level bit ops
+     * against the cached fingerprint/metastable planes. Requires
+     * imprint_ empty.
+     */
+    template <typename ScalarDiesFn>
+    void applyLossFast(uint64_t channel,
+                       RetentionModel::ThresholdBand band,
+                       bool loss_at_or_above, ScalarDiesFn scalarDies);
+    /** Every cell resolves to its power-up state. */
     void resolveAllToPowerUp();
-    /** Lazily compute and cache the stable power-up fingerprint. */
+    /** Word-masked resolveAllToPowerUp: copy the fingerprint plane and
+     * re-roll metastable cells via cached integer draw thresholds,
+     * touching only words with metastable bits. */
+    void resolveAllToPowerUpFast();
+    /** True when the threshold kernels may run (runtime selection says
+     * fast and no aging imprint modulates power-up draws). */
+    bool fastKernelEnabled() const;
+    /** Lazily acquire the die's power-up planes (fingerprint,
+     * metastable mask/thresholds, first-power-on contents) from the
+     * process-wide cache, deriving them on a miss. */
     void ensureFingerprint() const;
+    /** Derive this die's power-up planes from scratch. */
+    FingerprintPlanes buildFingerprintPlanes() const;
+    /** FastCached: lazily built plane of raw uniforms for @p channel,
+     * or nullptr when caching is off or the array is too large. */
+    const uint64_t *cachedPlane(uint64_t channel) const;
 
     std::string name_;
     std::vector<uint8_t> bytes_;
@@ -170,10 +202,14 @@ class MemoryArray
     uint64_t power_up_count_ = 0;
     uint64_t last_cells_lost_ = 0;
     bool ever_powered_ = false;
-    /** Cached stable power-up state (metastable cells excluded). */
-    mutable std::vector<uint8_t> fingerprint_;
-    /** Bit mask of metastable cells (re-rolled every power-up). */
-    mutable std::vector<uint8_t> metastable_mask_;
+    /** Die identity, the fingerprint-cache key. */
+    uint64_t chip_seed_ = 0;
+    uint64_t array_id_ = 0;
+    /** Shared immutable power-up planes (see FingerprintPlanes). */
+    mutable std::shared_ptr<const FingerprintPlanes> planes_;
+    /** FastCached raw uniform planes (DRV / retention channels). */
+    mutable std::vector<uint64_t> drv_raw_plane_;
+    mutable std::vector<uint64_t> retention_raw_plane_;
     /** Signed imprint-years per cell; empty until age() is first used. */
     std::vector<float> imprint_;
     /** Resolve @p cell's power-up state including any imprint drift. */

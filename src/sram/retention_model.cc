@@ -34,15 +34,20 @@ RetentionConfig::dram()
     return c;
 }
 
+Volt
+RetentionModel::drvFromZ(double z) const
+{
+    const double raw_drv =
+        config_.drv_mean.volts() + config_.drv_sigma.volts() * z;
+    return Volt(std::clamp(raw_drv, config_.drv_min.volts(),
+                           config_.drv_max.volts()));
+}
+
 CellParams
 RetentionModel::cellParams(uint64_t cell) const
 {
     CellParams p;
-    const double z_drv = rng_.gaussian(cell, ChannelDrv);
-    const double raw_drv =
-        config_.drv_mean.volts() + config_.drv_sigma.volts() * z_drv;
-    p.drv = Volt(std::clamp(raw_drv, config_.drv_min.volts(),
-                            config_.drv_max.volts()));
+    p.drv = drvFromZ(rng_.gaussian(cell, ChannelDrv));
     p.retention_z = rng_.gaussian(cell, ChannelRetention);
     p.power_up_bit = rng_.bits(cell, ChannelPowerUp) & 1;
     p.metastable =
@@ -77,7 +82,79 @@ normalCdf(double x)
     return 0.5 * std::erfc(-x / std::sqrt(2.0));
 }
 
+/**
+ * Smallest raw uniform value in [0, 2^53] for which @p pred is true,
+ * assuming pred is weakly monotone non-decreasing in the raw value
+ * (false...false true...true). Returns CellRng::kRawUniformBuckets when
+ * pred is false everywhere. ~53 predicate evaluations, once per state
+ * transition — the per-cell loop it replaces evaluated transcendentals
+ * hundreds of thousands of times.
+ */
+template <typename Pred>
+uint64_t
+lowerBoundRaw(Pred pred)
+{
+    if (pred(0))
+        return 0;
+    // Invariant: pred(lo) is false, pred(hi) is true (hi == 2^53 stands
+    // for "past the end").
+    uint64_t lo = 0, hi = CellRng::kRawUniformBuckets;
+    while (hi - lo > 1) {
+        const uint64_t mid = lo + (hi - lo) / 2;
+        if (pred(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+/** Widen a searched cutoff by the monotonicity guard band, saturating
+ * at the raw-hash space edges. */
+RetentionModel::ThresholdBand
+guardBand(uint64_t cutoff)
+{
+    const uint64_t w = RetentionModel::kGuardBandRaw;
+    RetentionModel::ThresholdBand band;
+    band.lo = cutoff > w ? cutoff - w : 0;
+    band.hi = cutoff < CellRng::kRawUniformBuckets - w
+                  ? cutoff + w
+                  : CellRng::kRawUniformBuckets;
+    return band;
+}
+
 } // namespace
+
+RetentionModel::ThresholdBand
+RetentionModel::decaySurvivalBand(Seconds off_time, Temperature t) const
+{
+    // The exact scalar predicate: raw -> uniform -> Acklam z ->
+    // survivesUnpowered, every FP rounding included. Monotone up to the
+    // guard slop: a larger raw hash means a larger retention_z means a
+    // longer retention time.
+    return guardBand(lowerBoundRaw([&](uint64_t raw) {
+        CellParams p{};
+        p.retention_z =
+            CellRng::gaussianFromUniform(CellRng::uniformFromRaw(raw));
+        return survivesUnpowered(p, off_time, t);
+    }));
+}
+
+RetentionModel::ThresholdBand
+RetentionModel::droopLossBand(Volt v) const
+{
+    // Monotone the other way round: a larger raw hash means a higher
+    // DRV, and a cell dies once its DRV exceeds the supply. The search
+    // therefore looks for the first raw value that *loses* state; the
+    // drv_min/drv_max clamp is inside drvFromZ, so the flat clamp edges
+    // are classified exactly as the scalar path classifies them.
+    return guardBand(lowerBoundRaw([&](uint64_t raw) {
+        CellParams p{};
+        p.drv = drvFromZ(
+            CellRng::gaussianFromUniform(CellRng::uniformFromRaw(raw)));
+        return !survivesAtVoltage(p, v);
+    }));
+}
 
 double
 RetentionModel::expectedSurvival(Seconds off_time, Temperature t) const

@@ -126,6 +126,76 @@ class RetentionModel
     /** Derive the physical parameters of cell @p cell. */
     CellParams cellParams(uint64_t cell) const;
 
+    /** The DRV a standard-normal deviate @p z maps to (mean + sigma * z,
+     * clamped to the physical bounds) — the exact per-cell math. */
+    Volt drvFromZ(double z) const;
+
+    /*
+     * Threshold transforms (see docs/PERFORMANCE.md). Every survival
+     * predicate in this model is monotone in the 53-bit raw uniform
+     * hash behind the relevant parameter channel *up to floating-point
+     * noise*: the raw -> uniform step is exactly monotone, but Acklam's
+     * inverse-CDF evaluation wobbles by a few ulps and jumps by up to
+     * ~2.3e-9 in z at its branch seams (both branches approximate the
+     * true quantile within 1.15e-9). A binary search over the hash
+     * space — evaluating the *exact* scalar predicate, FP rounding
+     * included — therefore yields a cutoff that classifies every raw
+     * value identically to the scalar path except possibly inside a
+     * narrow slop window around the cutoff. The returned ThresholdBand
+     * widens the cutoff by a guard band that provably contains every
+     * such deviation: outside [lo, hi) the integer compare is
+     * bit-exact; the (vanishingly rare) cells whose hash lands inside
+     * the band are re-evaluated with the scalar predicate.
+     */
+
+    /**
+     * Exclusive raw-hash window around a searched threshold.
+     * Classification below lo and at/above hi is exact; raw values in
+     * [lo, hi) must be resolved by the scalar predicate.
+     */
+    struct ThresholdBand
+    {
+        uint64_t lo;
+        uint64_t hi;
+    };
+
+    /**
+     * Bound on how far (in z units) the FP-evaluated uniform->normal
+     * chain can deviate from exact monotonicity: seam jumps are
+     * <= 2.3e-9 and ulp wobble is ~1e-15, so 1e-8 carries > 4x margin.
+     */
+    static constexpr double kGuardSlopZ = 1e-8;
+
+    /**
+     * The guard half-window in raw-hash steps: a z interval of width
+     * 2 * kGuardSlopZ maps to at most 2 * kGuardSlopZ * phi_max * 2^53
+     * raw values (phi_max = standard normal density peak ~0.39894).
+     */
+    static constexpr uint64_t kGuardBandRaw =
+        static_cast<uint64_t>(2.0 * kGuardSlopZ * 0.3989422804014327 *
+                              0x1.0p53) +
+        1;
+
+    /**
+     * Decay threshold: with band = decaySurvivalBand(off, t), a cell
+     * with raw = rng().rawUniform(cell, ChannelRetention) is guaranteed
+     * to lose state when raw < band.lo and to survive when raw >=
+     * band.hi, bit-exactly matching survivesUnpowered(cellParams(c),
+     * off, t); raws inside the band need the scalar predicate.
+     */
+    ThresholdBand decaySurvivalBand(Seconds off_time, Temperature t) const;
+
+    /**
+     * Droop threshold: with band = droopLossBand(v), a cell with raw =
+     * rng().rawUniform(cell, ChannelDrv) is guaranteed to survive when
+     * raw < band.lo and to lose state when raw >= band.hi (higher raw
+     * hash => higher DRV), bit-exactly matching survivesAtVoltage();
+     * raws inside the band need the scalar predicate. The drv_min/
+     * drv_max clamp edges are exact: the search runs over the clamped
+     * per-cell DRV math itself.
+     */
+    ThresholdBand droopLossBand(Volt v) const;
+
     /**
      * Natural log of the median retention time at temperature @p t,
      * Arrhenius-scaled from the reference point.
@@ -169,18 +239,23 @@ class RetentionModel
         return p.power_up_bit;
     }
 
+    /** Per-cell bias of a metastable cell: P(power-up draw == 1). */
+    double
+    metastableTheta(uint64_t cell) const
+    {
+        return config_.metastable_bias_min +
+               rng_.uniform(cell, ChannelMetastableBias) *
+                   (config_.metastable_bias_max -
+                    config_.metastable_bias_min);
+    }
+
     /** One power-up draw of a metastable cell at its per-cell bias. */
     bool
     metastableDraw(uint64_t cell, uint64_t nonce) const
     {
-        const double theta =
-            config_.metastable_bias_min +
-            rng_.uniform(cell, ChannelMetastableBias) *
-                (config_.metastable_bias_max -
-                 config_.metastable_bias_min);
         const double u =
             rng_.uniform(hashCombine(cell, nonce), ChannelMetastableDraw);
-        return u < theta;
+        return u < metastableTheta(cell);
     }
 
     /**

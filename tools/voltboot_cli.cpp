@@ -17,6 +17,9 @@
  *   --off-ms <ms>             power-off interval     (default 500)
  *   --current <amps>          probe current limit    (default 3.0)
  *   --pad <label>             probe somewhere else (wrong-domain demo)
+ *   --retention-path fast|fast-cached|reference
+ *                             retention kernel (default fast; all three
+ *                             are bit-exact, see docs/PERFORMANCE.md)
  *   --trace FILE              write a JSONL event trace
  *   --trace-chrome FILE       write a chrome://tracing / Perfetto trace
  *   --metrics FILE            write the wall-clock metrics snapshot
@@ -30,6 +33,7 @@
  *   --timing                  include wall-clock section in the JSON
  *   --trace-dir DIR           one deterministic JSONL trace per trial
  *   --metrics FILE            write the engine metrics snapshot
+ *   --retention-path PATH     retention kernel, as for attack/coldboot
  *
  * Trace files are deterministic (simulation-time stamps only); metrics
  * files carry wall-clock timings and are not. See docs/TRACING.md.
@@ -57,6 +61,7 @@
 #include "os/workloads.hh"
 #include "sim/logging.hh"
 #include "soc/soc.hh"
+#include "sram/retention_kernel.hh"
 
 using namespace voltboot;
 
@@ -109,6 +114,18 @@ parseUint(const std::string &flag, const std::string &text)
     return value;
 }
 
+/** Select the process-wide retention kernel from a --retention-path
+ * value; rejects anything but fast|fast-cached|reference. */
+void
+selectRetentionPath(const std::string &text)
+{
+    RetentionKernel kernel;
+    if (!parseRetentionKernel(text, kernel))
+        usageFatal("unknown retention path '", text,
+                   "' (expected fast, fast-cached or reference)");
+    setRetentionKernel(kernel);
+}
+
 struct Options
 {
     std::string board = "pi4";
@@ -152,6 +169,8 @@ parse(int argc, char **argv, int first)
             o.current = parseDouble(flag, value());
         else if (flag == "--pad")
             o.pad = value();
+        else if (flag == "--retention-path")
+            selectRetentionPath(value());
         else if (flag == "--trace")
             o.trace = value();
         else if (flag == "--trace-chrome")
@@ -381,6 +400,8 @@ parseSweep(int argc, char **argv, int first)
             o.jobs = static_cast<unsigned>(parseUint(flag, value()));
         else if (flag == "--seed")
             o.seed = parseUint(flag, value());
+        else if (flag == "--retention-path")
+            selectRetentionPath(value());
         else if (flag == "--out")
             o.out_json = value();
         else if (flag == "--csv")
@@ -475,6 +496,7 @@ usage(std::ostream &out)
            "LABEL]\n"
            "           [--trace FILE.jsonl] [--trace-chrome FILE.json] "
            "[--metrics FILE]\n"
+           "           [--retention-path fast|fast-cached|reference]\n"
            "  coldboot --board ... --temp C --off-ms MS [--trace ...]\n"
            "  survey   [--board ...]\n"
            "  retention [--target sram|dram]\n"
@@ -482,6 +504,7 @@ usage(std::ostream &out)
            "           [--out results.json] [--csv results.csv] "
            "[--timing] [--quiet]\n"
            "           [--trace-dir DIR] [--metrics FILE]\n"
+           "           [--retention-path fast|fast-cached|reference]\n"
            "           grid SPEC example: "
            "\"board=pi4;attack=coldboot;temp=-80,-40;off-ms=5,50;"
            "seeds=8\"\n";
