@@ -79,6 +79,10 @@ Campaign::run()
     std::atomic<uint64_t> cursor{0};
     std::atomic<uint64_t> done{0};
     std::mutex progress_mutex;
+    // Wall time of the last progress report. The relaxed pre-check
+    // keeps the common no-report path mutex-free; the real decision is
+    // re-taken under progress_mutex.
+    std::atomic<double> last_progress_s{0.0};
     const auto t0 = clock::now();
 
     auto elapsedSince = [](clock::time_point start) {
@@ -160,24 +164,47 @@ Campaign::run()
 
                 const uint64_t d =
                     done.fetch_add(1, std::memory_order_relaxed) + 1;
-                if (config_.progress &&
-                    (d % std::max<uint64_t>(1, config_.progress_every) ==
-                         0 ||
-                     d == total)) {
-                    std::lock_guard<std::mutex> lock(progress_mutex);
-                    CampaignProgress p;
-                    p.done = d;
-                    p.total = total;
-                    p.elapsed_s = elapsedSince(t0);
-                    p.trials_per_sec =
-                        p.elapsed_s > 0.0
-                            ? static_cast<double>(d) / p.elapsed_s
-                            : 0.0;
-                    p.eta_s = p.trials_per_sec > 0.0
-                                  ? static_cast<double>(total - d) /
-                                        p.trials_per_sec
-                                  : 0.0;
-                    config_.progress(p);
+                if (config_.progress) {
+                    const double interval =
+                        config_.progress_interval.seconds();
+                    const bool count_due =
+                        d % std::max<uint64_t>(
+                                1, config_.progress_every) == 0 ||
+                        d == total;
+                    const bool maybe_time_due =
+                        interval > 0.0 &&
+                        elapsedSince(t0) -
+                                last_progress_s.load(
+                                    std::memory_order_relaxed) >=
+                            interval;
+                    if (count_due || maybe_time_due) {
+                        std::lock_guard<std::mutex> lock(progress_mutex);
+                        const double now_s = elapsedSince(t0);
+                        const bool time_due =
+                            interval > 0.0 &&
+                            now_s - last_progress_s.load(
+                                        std::memory_order_relaxed) >=
+                                interval;
+                        if (count_due || time_due) {
+                            last_progress_s.store(
+                                now_s, std::memory_order_relaxed);
+                            CampaignProgress p;
+                            p.done = d;
+                            p.total = total;
+                            p.elapsed_s = now_s;
+                            p.trials_per_sec =
+                                p.elapsed_s > 0.0
+                                    ? static_cast<double>(d) /
+                                          p.elapsed_s
+                                    : 0.0;
+                            p.eta_s =
+                                p.trials_per_sec > 0.0
+                                    ? static_cast<double>(total - d) /
+                                          p.trials_per_sec
+                                    : 0.0;
+                            config_.progress(p);
+                        }
+                    }
                 }
             }
         }

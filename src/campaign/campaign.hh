@@ -69,9 +69,14 @@ struct CampaignConfig
     Seconds trial_timeout{0.0};
     /** Abort the campaign when a trial overruns trial_timeout. */
     bool abort_on_timeout = false;
-    /** Progress callback; invoked about every progress_every trials. */
+    /** Progress callback; invoked about every progress_every trials,
+     * and additionally whenever progress_interval wall-clock time has
+     * passed since the last report (0 disables the periodic path).
+     * Long sweeps of slow trials thus still report regularly even when
+     * far fewer than progress_every trials finish per interval. */
     std::function<void(const CampaignProgress &)> progress;
     uint64_t progress_every = 32;
+    Seconds progress_interval{0.0};
     /**
      * Trial function; defaults to runTrial(). Replaceable for tests
      * (e.g. fault injection) and future remote/sharded executors. May

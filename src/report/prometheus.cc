@@ -1,0 +1,67 @@
+#include "report/prometheus.hh"
+
+#include <cctype>
+#include <cmath>
+
+#include "trace/trace.hh"
+
+namespace voltboot
+{
+namespace report
+{
+
+namespace
+{
+
+/** Prometheus sample value: like trace::jsonNumber, but nan/inf render
+ * as `NaN` / `+Inf` / `-Inf` instead of JSON null. */
+std::string
+promValue(double value)
+{
+    if (std::isnan(value))
+        return "NaN";
+    if (std::isinf(value))
+        return value > 0 ? "+Inf" : "-Inf";
+    return trace::jsonNumber(value);
+}
+
+} // namespace
+
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out = "voltboot_";
+    for (char c : name)
+        out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+    return out;
+}
+
+std::string
+toPrometheus(const trace::MetricsSnapshot &snap)
+{
+    std::string out;
+    for (const auto &[name, value] : snap.counters) {
+        const std::string p = prometheusName(name);
+        out += "# TYPE " + p + " counter\n";
+        out += p + " " + promValue(value) + "\n";
+    }
+    for (const auto &[name, value] : snap.gauges) {
+        const std::string p = prometheusName(name);
+        out += "# TYPE " + p + " gauge\n";
+        out += p + " " + promValue(value) + "\n";
+    }
+    for (const auto &[name, h] : snap.histograms) {
+        const std::string p = prometheusName(name);
+        out += "# TYPE " + p + " summary\n";
+        out += p + "{quantile=\"0.5\"} " + promValue(h.p50) + "\n";
+        out += p + "{quantile=\"0.9\"} " + promValue(h.p90) + "\n";
+        out += p + "{quantile=\"0.99\"} " + promValue(h.p99) + "\n";
+        out += p + "_sum " +
+               promValue(h.mean * static_cast<double>(h.count)) + "\n";
+        out += p + "_count " + std::to_string(h.count) + "\n";
+    }
+    return out;
+}
+
+} // namespace report
+} // namespace voltboot

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Prometheus text exposition (version 0.0.4) for MetricsSnapshot.
+ *
+ * Maps the registry's dotted metric names onto Prometheus conventions:
+ * names are prefixed `voltboot_` and dots become underscores, counters
+ * and gauges emit one sample each, and histograms emit as summaries —
+ * `{quantile="0.5|0.9|0.99"}` samples plus `_sum` and `_count`. Output
+ * is sorted by metric name (the snapshot maps are ordered), so the
+ * exposition is deterministic for a deterministic snapshot.
+ */
+
+#ifndef VOLTBOOT_REPORT_PROMETHEUS_HH
+#define VOLTBOOT_REPORT_PROMETHEUS_HH
+
+#include <string>
+
+#include "trace/metrics.hh"
+
+namespace voltboot
+{
+namespace report
+{
+
+/** Render @p snap in the Prometheus text exposition format. */
+std::string toPrometheus(const trace::MetricsSnapshot &snap);
+
+/** `voltboot_` + @p name with every non-alphanumeric mapped to `_`. */
+std::string prometheusName(const std::string &name);
+
+} // namespace report
+} // namespace voltboot
+
+#endif // VOLTBOOT_REPORT_PROMETHEUS_HH

@@ -1,0 +1,215 @@
+#include "report/trace_reader.hh"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "report/json.hh"
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+namespace report
+{
+
+namespace
+{
+
+/**
+ * Invert `Seconds::microseconds()` exactly.
+ *
+ * The obvious `us * 1e-6` can land one ulp away from the double whose
+ * `microseconds()` rendering produced @p us, which would break the
+ * byte-identical round trip on the timestamp field. Since x -> x * 1e6
+ * is monotone, the exact preimage (when one exists — and it does for
+ * any value the writer produced) is within a couple of ulps of the
+ * estimate; walk to it.
+ */
+Seconds
+secondsFromMicros(double us)
+{
+    double s = us * 1e-6;
+    if (s * 1e6 == us || !std::isfinite(us))
+        return Seconds(s);
+    for (int dir : {+1, -1}) {
+        double probe = s;
+        for (int step = 0; step < 4; ++step) {
+            probe = std::nextafter(
+                probe, dir > 0 ? std::numeric_limits<double>::infinity()
+                               : -std::numeric_limits<double>::infinity());
+            if (probe * 1e6 == us)
+                return Seconds(probe);
+        }
+    }
+    return Seconds(s); // No exact preimage; nearest representable.
+}
+
+[[noreturn]] void
+schemaFail(const std::string &source, const JsonValue &at,
+           const std::string &detail)
+{
+    throw JsonParseError(source, at.line, at.column, detail);
+}
+
+/** Fetch required member @p key of kind @p kind from @p object. */
+const JsonValue &
+require(const JsonValue &object, const char *key, JsonValue::Kind kind,
+        const std::string &source)
+{
+    const JsonValue *v = object.find(key);
+    if (v == nullptr)
+        schemaFail(source, object,
+                   std::string("missing required key \"") + key + "\"");
+    if (v->kind != kind)
+        schemaFail(source, *v,
+                   std::string("key \"") + key + "\" must be a " +
+                       JsonValue::kindName(kind) + ", got " +
+                       JsonValue::kindName(v->kind));
+    return *v;
+}
+
+/** Re-render one parsed argument value the way trace::Arg renders it. */
+std::string
+renderArgValue(const JsonValue &v, const std::string &source)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        return "null"; // nan/inf numbers serialize as null.
+      case JsonValue::Kind::Bool:
+        return v.boolean ? "true" : "false";
+      case JsonValue::Kind::Number:
+        return v.text; // Raw source text: byte-exact.
+      case JsonValue::Kind::String:
+        return trace::jsonQuote(v.text);
+      case JsonValue::Kind::Array:
+      case JsonValue::Kind::Object:
+        schemaFail(source, v,
+                   "trace argument values must be scalars, got " +
+                       std::string(JsonValue::kindName(v.kind)));
+    }
+    panic("bad JsonValue::Kind");
+}
+
+} // namespace
+
+const char *
+internCategory(const std::string &category)
+{
+    // The common layer names get the same literals the emitters use.
+    static const char *known[] = {"power", "sram", "soc", "core",
+                                  "campaign"};
+    for (const char *k : known)
+        if (category == k)
+            return k;
+    // Anything else goes into a process-lifetime pool. std::set nodes
+    // are address-stable, which is exactly the guarantee
+    // TraceEvent::category needs.
+    static std::mutex mutex;
+    static std::set<std::string> pool;
+    std::lock_guard<std::mutex> lock(mutex);
+    return pool.insert(category).first->c_str();
+}
+
+trace::TraceEvent
+readTraceLine(std::string_view line, const std::string &source,
+              size_t line_no)
+{
+    const JsonValue doc = parseJson(line, source, line_no);
+    if (!doc.isObject())
+        schemaFail(source, doc, "trace line must be a JSON object");
+
+    static const char *allowed[] = {"ts_us", "cat", "ph",
+                                    "name",  "dur_us", "args"};
+    for (const auto &[key, value] : doc.members) {
+        bool ok = false;
+        for (const char *k : allowed)
+            ok = ok || key == k;
+        if (!ok)
+            schemaFail(source, value,
+                       "unknown trace key \"" + key + "\"");
+    }
+
+    trace::TraceEvent ev;
+
+    const JsonValue &ph =
+        require(doc, "ph", JsonValue::Kind::String, source);
+    if (ph.text == "i")
+        ev.phase = trace::Phase::Instant;
+    else if (ph.text == "X")
+        ev.phase = trace::Phase::Complete;
+    else if (ph.text == "C")
+        ev.phase = trace::Phase::Counter;
+    else
+        schemaFail(source, ph,
+                   "unknown phase \"" + ph.text +
+                       "\" (expected \"i\", \"X\" or \"C\")");
+
+    const JsonValue &ts =
+        require(doc, "ts_us", JsonValue::Kind::Number, source);
+    ev.ts = secondsFromMicros(ts.number);
+
+    ev.category = internCategory(
+        require(doc, "cat", JsonValue::Kind::String, source).text);
+    ev.name = require(doc, "name", JsonValue::Kind::String, source).text;
+
+    const JsonValue *dur = doc.find("dur_us");
+    if (ev.phase == trace::Phase::Complete) {
+        if (dur == nullptr)
+            schemaFail(source, doc,
+                       "complete (\"X\") events require \"dur_us\"");
+        if (!dur->isNumber())
+            schemaFail(source, *dur, "\"dur_us\" must be a number");
+        ev.dur = secondsFromMicros(dur->number);
+    } else if (dur != nullptr) {
+        schemaFail(source, *dur,
+                   "\"dur_us\" is only valid on \"X\" events");
+    }
+
+    const JsonValue &args =
+        require(doc, "args", JsonValue::Kind::Object, source);
+    ev.args.reserve(args.members.size());
+    for (const auto &[key, value] : args.members) {
+        trace::Arg arg(key, "");
+        arg.json = renderArgValue(value, source);
+        ev.args.push_back(std::move(arg));
+    }
+    return ev;
+}
+
+std::vector<trace::TraceEvent>
+readTrace(std::string_view text, const std::string &source)
+{
+    std::vector<trace::TraceEvent> events;
+    size_t line_no = 1;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string_view::npos)
+            eol = text.size();
+        const std::string_view line = text.substr(pos, eol - pos);
+        if (line.empty())
+            throw JsonParseError(source, line_no, 1,
+                                 "blank line in JSONL trace");
+        events.push_back(readTraceLine(line, source, line_no));
+        pos = eol + 1;
+        ++line_no;
+    }
+    return events;
+}
+
+std::vector<trace::TraceEvent>
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open trace file '", path, "'");
+    std::ostringstream content;
+    content << in.rdbuf();
+    return readTrace(content.str(), path);
+}
+
+} // namespace report
+} // namespace voltboot

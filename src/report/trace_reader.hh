@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Strict reader for the JSONL trace wire format.
+ *
+ * Parses `trace::toJsonlLine()` output back into `trace::TraceEvent`
+ * values, closing the loop the emission side opened: everything the
+ * simulator writes can be loaded, aggregated, invariant-checked and
+ * reported on without leaving the tree. The reader enforces the schema
+ * documented in docs/TRACING.md — required keys, key types, phase
+ * letters, `dur_us` present exactly on `"X"` events — and reports any
+ * deviation as a JsonParseError carrying the file, 1-based line and
+ * column of the offending token.
+ *
+ * Round-trip contract: for any event sequence, `readTrace(toJsonl(ev))`
+ * re-serializes to the original bytes. Three details make that hold:
+ * numbers carry their raw source text (see report/json.hh), timestamps
+ * are converted from microseconds with a one-ulp correction so
+ * `Seconds::microseconds()` reproduces the parsed value exactly, and
+ * argument values are re-rendered through the same primitives the
+ * writer used. tests/report_test.cpp pins the contract with a
+ * property test over generated events (including nan/inf args, which
+ * serialize as null).
+ */
+
+#ifndef VOLTBOOT_REPORT_TRACE_READER_HH
+#define VOLTBOOT_REPORT_TRACE_READER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace voltboot
+{
+namespace report
+{
+
+/**
+ * Parse one JSONL line into a TraceEvent.
+ *
+ * @param line     The line, without its trailing newline.
+ * @param source   Name used in diagnostics.
+ * @param line_no  1-based line number used in diagnostics.
+ * @throws JsonParseError on malformed JSON or schema violations.
+ */
+trace::TraceEvent readTraceLine(std::string_view line,
+                                const std::string &source = "<string>",
+                                size_t line_no = 1);
+
+/** Parse a whole JSONL document (one event per non-final line). */
+std::vector<trace::TraceEvent>
+readTrace(std::string_view text, const std::string &source = "<string>");
+
+/** Load and parse a JSONL trace file; fatal() if unreadable. */
+std::vector<trace::TraceEvent> readTraceFile(const std::string &path);
+
+/**
+ * Return a stable `const char *` for @p category.
+ *
+ * TraceEvent::category must outlive the event; emitted events point at
+ * string literals, parsed events point into this process-lifetime
+ * intern pool. Known layer names return the same storage every call.
+ */
+const char *internCategory(const std::string &category);
+
+} // namespace report
+} // namespace voltboot
+
+#endif // VOLTBOOT_REPORT_TRACE_READER_HH

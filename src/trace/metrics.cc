@@ -27,7 +27,27 @@ void
 Metrics::observe(const std::string &name, double value)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    histograms_[name].push_back(value);
+    Reservoir &r = histograms_[name];
+    if (r.total == 0) {
+        r.min = value;
+        r.max = value;
+    } else {
+        r.min = std::min(r.min, value);
+        r.max = std::max(r.max, value);
+    }
+    ++r.total;
+    r.sum += value;
+    r.samples.push_back(value);
+    if (r.samples.size() >= kHistogramSampleCap) {
+        // Decimate deterministically: sort, keep every second sample.
+        // Uniform in rank space, so the percentile estimates move by
+        // at most one rank's worth of value.
+        std::sort(r.samples.begin(), r.samples.end());
+        size_t kept = 0;
+        for (size_t i = 0; i < r.samples.size(); i += 2)
+            r.samples[kept++] = r.samples[i];
+        r.samples.resize(kept);
+    }
 }
 
 namespace
@@ -52,19 +72,19 @@ Metrics::snapshot() const
     MetricsSnapshot snap;
     snap.counters = counters_;
     snap.gauges = gauges_;
-    for (const auto &[name, samples] : histograms_) {
-        if (samples.empty())
+    for (const auto &[name, r] : histograms_) {
+        if (r.total == 0)
             continue;
-        std::vector<double> sorted = samples;
+        std::vector<double> sorted = r.samples;
         std::sort(sorted.begin(), sorted.end());
         HistogramSummary h;
-        h.count = sorted.size();
-        double sum = 0.0;
-        for (double v : sorted)
-            sum += v;
-        h.mean = sum / static_cast<double>(sorted.size());
-        h.min = sorted.front();
-        h.max = sorted.back();
+        // Count, mean, min and max come from the exact running
+        // moments; only the percentiles read the (possibly decimated)
+        // retained set.
+        h.count = r.total;
+        h.mean = r.sum / static_cast<double>(r.total);
+        h.min = r.min;
+        h.max = r.max;
         h.p50 = percentile(sorted, 0.50);
         h.p90 = percentile(sorted, 0.90);
         h.p99 = percentile(sorted, 0.99);

@@ -77,15 +77,30 @@ struct MetricsSnapshot
 class Metrics
 {
   public:
+    /**
+     * Per-histogram retained-sample bound.
+     *
+     * observe() keeps raw samples so snapshots can report order
+     * statistics, but an unbounded campaign must not grow memory
+     * without bound. When a histogram reaches this many retained
+     * samples it is decimated: the retained set is sorted and every
+     * second sample kept — deterministic (no RNG), and uniform across
+     * the distribution, so percentiles stay stable at the cap.
+     * `count`, `mean`, `min` and `max` are tracked exactly regardless;
+     * only the percentile estimates coarsen past the cap.
+     */
+    static constexpr size_t kHistogramSampleCap = 4096;
+
     /** Add @p delta to counter @p name (created at zero). */
     void add(const std::string &name, double delta = 1.0);
 
     /** Set gauge @p name to @p value. */
     void set(const std::string &name, double value);
 
-    /** Record one sample into histogram @p name. Samples are retained
-     * so snapshots can report exact percentiles; intended for
-     * per-trial/per-step cardinality, not per-cell. */
+    /** Record one sample into histogram @p name. At most
+     * kHistogramSampleCap samples are retained per histogram (see
+     * above); intended for per-trial/per-step cardinality, not
+     * per-cell. */
     void observe(const std::string &name, double value);
 
     /** Copy out the current state. */
@@ -95,10 +110,20 @@ class Metrics
     std::string toJson() const;
 
   private:
+    /** One histogram's retained samples plus exact running moments. */
+    struct Reservoir
+    {
+        std::vector<double> samples; ///< Retained (possibly decimated).
+        uint64_t total = 0;          ///< Exact observation count.
+        double sum = 0.0;            ///< Exact sum of all observations.
+        double min = 0.0;            ///< Exact; valid when total > 0.
+        double max = 0.0;            ///< Exact; valid when total > 0.
+    };
+
     mutable std::mutex mutex_;
     std::map<std::string, double> counters_;
     std::map<std::string, double> gauges_;
-    std::map<std::string, std::vector<double>> histograms_;
+    std::map<std::string, Reservoir> histograms_;
 };
 
 } // namespace trace

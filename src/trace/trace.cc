@@ -267,6 +267,20 @@ instant(const char *category, std::string name, std::vector<Arg> args)
     emit(std::move(ev));
 }
 
+void
+counter(const char *category, std::string name, double value)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.phase = Phase::Counter;
+    ev.category = category;
+    ev.name = std::move(name);
+    ev.ts = simTime();
+    ev.args.emplace_back("v", value);
+    emit(std::move(ev));
+}
+
 Span::Span(const char *category, std::string name) : live_(enabled())
 {
     if (!live_)

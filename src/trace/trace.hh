@@ -236,6 +236,15 @@ void instant(const char *category, std::string name,
              std::vector<Arg> args = {});
 
 /**
+ * Emit a Counter event sampling @p value at the current simulation
+ * time. The value travels as the single numeric argument `v`, which is
+ * what Perfetto's counter-track rendering and the report layer's
+ * waveform extraction both expect. The power layer samples each
+ * domain's supply as `counter("power", "voltage.<domain>", volts)`.
+ */
+void counter(const char *category, std::string name, double value);
+
+/**
  * A simulation-time span: captures simTime() at construction and emits
  * one Complete event covering [start, simTime()] at end() (or at
  * destruction). Args may be attached as results become known. Cheap

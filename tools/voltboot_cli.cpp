@@ -9,6 +9,7 @@
  *   survey   [--board NAME]           countermeasure survey
  *   retention [--tech sram|dram]      survival surface
  *   sweep    [options]                parallel attack-sweep campaign
+ *   report   trace|campaign FILE      analyse traces / sweep results
  *
  * Common options:
  *   --board pi3|pi4|imx53     target platform        (default pi4)
@@ -50,8 +51,14 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "campaign/campaign.hh"
+#include "report/campaign_json.hh"
+#include "report/invariants.hh"
+#include "report/prometheus.hh"
+#include "report/report.hh"
+#include "report/trace_reader.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
 #include "core/analysis.hh"
@@ -124,6 +131,22 @@ selectRetentionPath(const std::string &text)
         usageFatal("unknown retention path '", text,
                    "' (expected fast, fast-cached or reference)");
     setRetentionKernel(kernel);
+}
+
+/**
+ * Write @p content to @p path, or to stdout when @p path is `-`.
+ * File writes announce themselves; stdout stays clean so output can be
+ * piped.
+ */
+void
+writeOutput(const std::string &path, const std::string &content)
+{
+    if (path == "-") {
+        std::cout << content;
+        return;
+    }
+    CampaignResult::writeFile(path, content);
+    std::cout << "wrote " << path << "\n";
 }
 
 struct Options
@@ -213,11 +236,8 @@ withObservability(const Options &o, const std::function<int()> &body)
                                   trace::toChromeTrace(sink.events()));
         std::cout << "wrote " << o.trace_chrome << "\n";
     }
-    if (!o.metrics.empty()) {
-        CampaignResult::writeFile(o.metrics,
-                                  metrics.snapshot().toJson() + "\n");
-        std::cout << "wrote " << o.metrics << "\n";
-    }
+    if (!o.metrics.empty())
+        writeOutput(o.metrics, metrics.snapshot().toJson() + "\n");
     return rc;
 }
 
@@ -438,7 +458,10 @@ cmdSweep(const SweepOptions &o)
     cfg.jobs = o.jobs;
     cfg.seed = o.seed;
     cfg.trace_dir = o.trace_dir;
-    if (!o.quiet)
+    if (!o.quiet) {
+        // Report every progress_every trials and at least every two
+        // seconds, so slow grids (imx53 iRAM) still show life.
+        cfg.progress_interval = Seconds(2.0);
         cfg.progress = [](const CampaignProgress &p) {
             std::fprintf(stderr,
                          "\r%llu/%llu trials  %.1f trials/s  ETA %.0fs ",
@@ -448,6 +471,7 @@ cmdSweep(const SweepOptions &o)
             if (p.done == p.total)
                 std::fprintf(stderr, "\n");
         };
+    }
 
     Campaign campaign(std::move(grid), std::move(cfg));
     const CampaignResult result = campaign.run();
@@ -476,19 +500,132 @@ cmdSweep(const SweepOptions &o)
     if (!o.trace_dir.empty())
         std::cout << "wrote " << s.trials << " trial traces to "
                   << o.trace_dir << "\n";
-    if (!o.metrics.empty()) {
-        CampaignResult::writeFile(o.metrics,
-                                  result.metrics.toJson() + "\n");
-        std::cout << "wrote " << o.metrics << "\n";
-    }
+    if (!o.metrics.empty())
+        writeOutput(o.metrics, result.metrics.toJson() + "\n");
     return s.errors || s.skipped ? 1 : 0;
+}
+
+struct ReportOptions
+{
+    std::string mode;  // "trace" | "campaign"
+    std::string input; // JSONL trace or sweep JSON
+    std::string out = "-";
+    std::string trace_dir; // campaign only
+    std::string baseline;  // campaign only
+    std::string format = "md"; // md | prom (campaign only)
+    bool check = false;
+    double regress_threshold = 0.5;
+};
+
+ReportOptions
+parseReport(int argc, char **argv, int first)
+{
+    ReportOptions o;
+    std::vector<std::string> positional;
+    for (int i = first; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usageFatal("missing value for ", flag);
+            return argv[++i];
+        };
+        if (flag == "--out")
+            o.out = value();
+        else if (flag == "--trace-dir")
+            o.trace_dir = value();
+        else if (flag == "--baseline")
+            o.baseline = value();
+        else if (flag == "--format")
+            o.format = value();
+        else if (flag == "--check")
+            o.check = true;
+        else if (flag == "--regress-threshold")
+            o.regress_threshold = parseDouble(flag, value());
+        else if (!flag.empty() && flag[0] == '-' && flag != "-")
+            usageFatal("unknown option ", flag);
+        else
+            positional.push_back(flag);
+    }
+    if (positional.size() != 2)
+        usageFatal("report requires a mode and an input file: "
+                   "report trace FILE.jsonl | report campaign "
+                   "SWEEP.json");
+    o.mode = positional[0];
+    o.input = positional[1];
+    if (o.mode != "trace" && o.mode != "campaign")
+        usageFatal("unknown report mode '", o.mode,
+                   "' (expected trace or campaign)");
+    if (o.format != "md" && o.format != "prom")
+        usageFatal("unknown report format '", o.format,
+                   "' (expected md or prom)");
+    if (o.mode == "trace") {
+        if (!o.trace_dir.empty())
+            usageFatal("--trace-dir is only valid for report campaign");
+        if (!o.baseline.empty())
+            usageFatal("--baseline is only valid for report campaign");
+        if (o.format == "prom")
+            usageFatal("--format prom is only valid for report "
+                       "campaign");
+    }
+    return o;
+}
+
+int
+cmdReport(const ReportOptions &o)
+{
+    if (o.mode == "trace") {
+        const std::vector<trace::TraceEvent> events =
+            report::readTraceFile(o.input);
+        const report::TraceReport rep =
+            report::buildTraceReport(events, o.input, o.check);
+        writeOutput(o.out, rep.markdown);
+        if (!rep.violations.empty()) {
+            std::cerr << "trace invariant check FAILED:\n"
+                      << report::renderViolations(rep.violations);
+            return 1;
+        }
+        return 0;
+    }
+
+    const report::SweepDoc sweep = report::readSweepFile(o.input);
+
+    report::Baseline baseline;
+    report::CampaignReportOptions opts;
+    opts.trace_dir = o.trace_dir;
+    opts.check = o.check;
+    opts.regression_threshold = o.regress_threshold;
+    if (!o.baseline.empty()) {
+        baseline = report::readBaselineFile(o.baseline);
+        opts.baseline = &baseline;
+    }
+
+    if (o.format == "prom") {
+        if (!sweep.has_timing || sweep.metrics.empty())
+            fatal("sweep '", o.input,
+                  "' carries no metrics snapshot; rerun the sweep "
+                  "with --timing");
+        writeOutput(o.out, report::toPrometheus(sweep.metrics));
+        return 0;
+    }
+
+    const report::CampaignReport rep =
+        report::buildCampaignReport(sweep, opts);
+    writeOutput(o.out, rep.markdown);
+    if (!rep.problems.empty()) {
+        std::cerr << "campaign report found "
+                  << rep.problems.size() << " problem(s):\n";
+        for (const std::string &p : rep.problems)
+            std::cerr << "  " << p << "\n";
+        return 1;
+    }
+    return 0;
 }
 
 void
 usage(std::ostream &out)
 {
     out << "usage: voltboot "
-           "<platforms|attack|coldboot|survey|retention|sweep>"
+           "<platforms|attack|coldboot|survey|retention|sweep|report>"
            " [options]\n"
            "  attack   --board pi3|pi4|imx53 --target "
            "dcache|icache|regs|iram|tlb|btb\n"
@@ -507,7 +644,14 @@ usage(std::ostream &out)
            "           [--retention-path fast|fast-cached|reference]\n"
            "           grid SPEC example: "
            "\"board=pi4;attack=coldboot;temp=-80,-40;off-ms=5,50;"
-           "seeds=8\"\n";
+           "seeds=8\"\n"
+           "  report   trace FILE.jsonl [--check] [--out FILE|-]\n"
+           "  report   campaign SWEEP.json [--trace-dir DIR]\n"
+           "           [--baseline BENCH.json] [--format md|prom] "
+           "[--check]\n"
+           "           [--regress-threshold X] [--out FILE|-]\n"
+           "  `-` as an output path (--out, --metrics) writes to "
+           "stdout.\n";
 }
 
 } // namespace
@@ -525,6 +669,8 @@ main(int argc, char **argv)
             return cmdPlatforms();
         if (cmd == "sweep")
             return cmdSweep(parseSweep(argc, argv, 2));
+        if (cmd == "report")
+            return cmdReport(parseReport(argc, argv, 2));
         const Options o = parse(argc, argv, 2);
         if (cmd == "attack")
             return withObservability(o, [&] { return cmdAttack(o); });
