@@ -46,8 +46,59 @@ CampaignResult::summary() const
         s.keys_planted += r.key_planted;
         s.keys_found += r.key_found;
         s.keys_exact += r.key_exact;
+        if (r.spec.attack == AttackKind::Glitch) {
+            ++s.glitch_trials;
+            s.glitch_bypassed += r.glitch_bypassed;
+        }
     }
     return s;
+}
+
+std::string
+csvEscape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (const char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::vector<std::string>
+splitCsvRow(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    bool quoted = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cur += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cur += c;
+            }
+        } else if (c == '"' && cur.empty()) {
+            quoted = true;
+        } else if (c == ',') {
+            fields.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    fields.push_back(std::move(cur));
+    return fields;
 }
 
 namespace
@@ -99,7 +150,11 @@ CampaignResult::toJson(bool include_timing) const
     out += "    \"keys_planted\": " + std::to_string(s.keys_planted) +
            ",\n";
     out += "    \"keys_found\": " + std::to_string(s.keys_found) + ",\n";
-    out += "    \"keys_exact\": " + std::to_string(s.keys_exact) + "\n";
+    out += "    \"keys_exact\": " + std::to_string(s.keys_exact) + ",\n";
+    out += "    \"glitch_trials\": " + std::to_string(s.glitch_trials) +
+           ",\n";
+    out += "    \"glitch_bypassed\": " +
+           std::to_string(s.glitch_bypassed) + "\n";
     out += "  },\n";
     out += "  \"records\": [\n";
     for (size_t i = 0; i < records.size(); ++i) {
@@ -114,6 +169,11 @@ CampaignResult::toJson(bool include_timing) const
         out += ", \"impedance_mohm\": " +
                jsonNumber(r.spec.impedance_mohm);
         out += ", \"seed_index\": " + std::to_string(r.spec.seed_index);
+        out += ", \"glitch_off_ns\": " + jsonNumber(r.spec.glitch_off_ns);
+        out += ", \"glitch_width_ns\": " +
+               jsonNumber(r.spec.glitch_width_ns);
+        out += ", \"glitch_depth_v\": " +
+               jsonNumber(r.spec.glitch_depth_v);
         out += ", \"chip_seed\": " + std::to_string(r.chip_seed);
         out += ", \"status\": " + jsonString(toString(r.status));
         out += ", \"detail\": " + jsonString(r.detail);
@@ -130,6 +190,10 @@ CampaignResult::toJson(bool include_timing) const
         out += jsonBool(r.key_found);
         out += ", \"key_exact\": ";
         out += jsonBool(r.key_exact);
+        out += ", \"glitch_faults\": " + std::to_string(r.glitch_faults);
+        out += ", \"glitch_effect\": " + jsonString(r.glitch_effect);
+        out += ", \"glitch_bypassed\": ";
+        out += jsonBool(r.glitch_bypassed);
         out += "}";
         out += (i + 1 < records.size()) ? ",\n" : "\n";
     }
@@ -157,12 +221,14 @@ CampaignResult::toCsv() const
 {
     std::string out =
         "index,board,target,attack,temp_c,off_ms,current_a,"
-        "impedance_mohm,seed_index,chip_seed,status,probe_attached,"
+        "impedance_mohm,seed_index,glitch_off_ns,glitch_width_ns,"
+        "glitch_depth_v,chip_seed,status,probe_attached,"
         "booted,dump_bytes,accuracy,bit_error_rate,key_planted,"
-        "key_found,key_exact,detail\n";
+        "key_found,key_exact,glitch_faults,glitch_effect,"
+        "glitch_bypassed,detail\n";
     for (const TrialRecord &r : records) {
         out += std::to_string(r.spec.index) + ',';
-        out += r.spec.board + ',';
+        out += csvEscape(r.spec.board) + ',';
         out += std::string(toString(r.spec.target)) + ',';
         out += std::string(toString(r.spec.attack)) + ',';
         out += jsonNumber(r.spec.temp_c) + ',';
@@ -170,6 +236,9 @@ CampaignResult::toCsv() const
         out += jsonNumber(r.spec.current_a) + ',';
         out += jsonNumber(r.spec.impedance_mohm) + ',';
         out += std::to_string(r.spec.seed_index) + ',';
+        out += jsonNumber(r.spec.glitch_off_ns) + ',';
+        out += jsonNumber(r.spec.glitch_width_ns) + ',';
+        out += jsonNumber(r.spec.glitch_depth_v) + ',';
         out += std::to_string(r.chip_seed) + ',';
         out += std::string(toString(r.status)) + ',';
         out += std::to_string(r.probe_attached) + ',';
@@ -180,12 +249,13 @@ CampaignResult::toCsv() const
         out += std::to_string(r.key_planted) + ',';
         out += std::to_string(r.key_found) + ',';
         out += std::to_string(r.key_exact) + ',';
-        // Keep CSV single-line: squash separators out of free text.
-        std::string detail = r.detail;
-        for (char &c : detail)
-            if (c == ',' || c == '\n' || c == '\r')
-                c = ';';
-        out += detail + '\n';
+        out += std::to_string(r.glitch_faults) + ',';
+        // Free-text fields (effect lists join with commas, failure
+        // details may say anything): RFC 4180 quoting keeps one row
+        // per trial and round-trips through splitCsvRow().
+        out += csvEscape(r.glitch_effect) + ',';
+        out += std::to_string(r.glitch_bypassed) + ',';
+        out += csvEscape(r.detail) + '\n';
     }
     return out;
 }

@@ -40,6 +40,14 @@ enum class TrialStatus
 
 const char *toString(TrialStatus status);
 
+/** Quote @p field per RFC 4180 when it contains a comma, quote, or
+ * newline (embedded quotes doubled); otherwise returned unchanged. */
+std::string csvEscape(const std::string &field);
+
+/** Split one CSV row (without its trailing newline) into unescaped
+ * fields — the inverse of the quoting csvEscape() applies. */
+std::vector<std::string> splitCsvRow(const std::string &line);
+
 /** Outcome and metrics of a single trial. */
 struct TrialRecord
 {
@@ -60,6 +68,14 @@ struct TrialRecord
     bool key_planted = false;
     bool key_found = false;
     bool key_exact = false;
+
+    /** Glitch trials: number of faults the pulse injected. */
+    uint64_t glitch_faults = 0;
+    /** Glitch trials: comma-joined effect names, in boundary order
+     * (e.g. "skip,opcode_corrupt" — note the embedded commas). */
+    std::string glitch_effect;
+    /** Glitch trials: the signature check passed without a valid tag. */
+    bool glitch_bypassed = false;
 
     /** Wall-clock cost; timing only, never in canonical output. */
     double duration_s = 0.0;
@@ -84,6 +100,10 @@ struct CampaignSummary
 
     /** Attack success = Ok trials that booted attacker code. */
     uint64_t booted = 0;
+
+    /** Glitch trials run / signature checks bypassed. */
+    uint64_t glitch_trials = 0;
+    uint64_t glitch_bypassed = 0;
 };
 
 /** Everything a campaign produced. */

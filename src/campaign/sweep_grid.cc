@@ -14,6 +14,7 @@ toString(AttackKind kind)
     switch (kind) {
       case AttackKind::VoltBoot: return "voltboot";
       case AttackKind::ColdBoot: return "coldboot";
+      case AttackKind::Glitch: return "glitch";
     }
     panic("bad AttackKind");
 }
@@ -39,7 +40,9 @@ attackFromString(const std::string &name)
         return AttackKind::VoltBoot;
     if (name == "coldboot")
         return AttackKind::ColdBoot;
-    fatal("unknown attack '", name, "' (voltboot|coldboot)");
+    if (name == "glitch")
+        return AttackKind::Glitch;
+    fatal("unknown attack '", name, "' (voltboot|coldboot|glitch)");
 }
 
 TargetRam
@@ -67,7 +70,8 @@ SweepGrid::size() const
     return static_cast<uint64_t>(boards.size()) * targets.size() *
            attacks.size() * temps_c.size() * offs_ms.size() *
            currents_a.size() * impedances_mohm.size() *
-           plant_key.size() * seed_count;
+           glitch_offs_ns.size() * glitch_widths_ns.size() *
+           glitch_depths_v.size() * plant_key.size() * seed_count;
 }
 
 TrialSpec
@@ -87,6 +91,10 @@ SweepGrid::at(uint64_t index) const
     // Fastest-varying axis first (seed innermost, board outermost).
     spec.seed_index = take(static_cast<size_t>(seed_count));
     spec.plant_key = plant_key[take(plant_key.size())];
+    spec.glitch_depth_v = glitch_depths_v[take(glitch_depths_v.size())];
+    spec.glitch_width_ns =
+        glitch_widths_ns[take(glitch_widths_ns.size())];
+    spec.glitch_off_ns = glitch_offs_ns[take(glitch_offs_ns.size())];
     spec.impedance_mohm = impedances_mohm[take(impedances_mohm.size())];
     spec.current_a = currents_a[take(currents_a.size())];
     spec.off_ms = offs_ms[take(offs_ms.size())];
@@ -224,6 +232,13 @@ SweepGrid::parse(const std::string &spec)
         } else if (key == "impedance-mohm") {
             grid.impedances_mohm =
                 parseDoubleList(value, "impedance-mohm");
+        } else if (key == "glitch-off-ns") {
+            grid.glitch_offs_ns = parseDoubleList(value, "glitch-off-ns");
+        } else if (key == "glitch-width-ns") {
+            grid.glitch_widths_ns =
+                parseDoubleList(value, "glitch-width-ns");
+        } else if (key == "glitch-depth") {
+            grid.glitch_depths_v = parseDoubleList(value, "glitch-depth");
         } else if (key == "key") {
             grid.plant_key.clear();
             for (const std::string &k : split(value, ',')) {
@@ -239,7 +254,8 @@ SweepGrid::parse(const std::string &spec)
         } else {
             fatal("unknown grid key '", key,
                   "' (board|target|attack|temp|off-ms|current|"
-                  "impedance-mohm|key|seeds)");
+                  "impedance-mohm|glitch-off-ns|glitch-width-ns|"
+                  "glitch-depth|key|seeds)");
         }
     }
     if (grid.size() == 0)
@@ -263,10 +279,56 @@ SweepGrid::describe() const
     out += ";off-ms=" + joinDoubles(offs_ms);
     out += ";current=" + joinDoubles(currents_a);
     out += ";impedance-mohm=" + joinDoubles(impedances_mohm);
+    out += ";glitch-off-ns=" + joinDoubles(glitch_offs_ns);
+    out += ";glitch-width-ns=" + joinDoubles(glitch_widths_ns);
+    out += ";glitch-depth=" + joinDoubles(glitch_depths_v);
     out += ";key=";
     for (size_t i = 0; i < plant_key.size(); ++i)
         out += std::string(i ? "," : "") + (plant_key[i] ? "1" : "0");
     out += ";seeds=" + std::to_string(seed_count);
+    return out;
+}
+
+std::string
+SweepGrid::axesHelp()
+{
+    struct AxisDoc
+    {
+        const char *key;
+        const char *unit;
+        const char *def;
+        const char *values;
+    };
+    static const AxisDoc axes[] = {
+        {"board", "-", "pi4", "pi3|pi4|imx53"},
+        {"target", "-", "dcache", "dcache|icache|regs|iram|tlb|btb"},
+        {"attack", "-", "voltboot", "voltboot|coldboot|glitch"},
+        {"temp", "degC", "25", "ambient temperature list"},
+        {"off-ms", "ms", "500", "power-off time list"},
+        {"current", "A", "3", "probe current-limit list"},
+        {"impedance-mohm", "mohm", "50", "probe source impedance list"},
+        {"glitch-off-ns", "ns", "0", "pulse offset from victim entry"},
+        {"glitch-width-ns", "ns", "0", "pulse width (0 = no pulse)"},
+        {"glitch-depth", "V", "0", "droop below nominal (0 = no pulse)"},
+        {"key", "0|1", "0", "plant + scan an AES-128 schedule"},
+        {"seeds", "count", "1", "chip-seed replication axis"},
+    };
+    std::string out =
+        "axis              unit   default  values\n"
+        "----              ----   -------  ------\n";
+    for (const AxisDoc &a : axes) {
+        std::string line = a.key;
+        line.resize(18, ' ');
+        std::string unit = a.unit;
+        unit.resize(7, ' ');
+        std::string def = a.def;
+        def.resize(9, ' ');
+        out += line + unit + def + a.values + "\n";
+    }
+    out += "\nEnumeration order: the board axis varies slowest, the "
+           "chip-seed index\nfastest; axes in between follow the order "
+           "above from bottom to top.\nGlitch axes apply to "
+           "attack=glitch trials only.\n";
     return out;
 }
 

@@ -29,6 +29,7 @@ enum class AttackKind
 {
     VoltBoot, ///< Probe the SRAM domain, power-cycle, extract.
     ColdBoot, ///< No probe: chill, power-cycle, extract (Section 3).
+    Glitch,   ///< Crowbar the core rail mid-signature-check.
 };
 
 /** Which memory the trial extracts and scores. */
@@ -60,6 +61,11 @@ struct TrialSpec
     double impedance_mohm = 50.0;  ///< Probe source impedance.
     bool plant_key = false;        ///< Plant + scan an AES-128 schedule.
     uint64_t seed_index = 0;       ///< Chip-seed axis value.
+
+    /** Glitch pulse knobs (Glitch trials only; 0 = no pulse). */
+    double glitch_off_ns = 0.0;   ///< Offset from victim entry.
+    double glitch_width_ns = 0.0; ///< Pulse duration.
+    double glitch_depth_v = 0.0;  ///< Excursion below nominal.
 };
 
 /**
@@ -85,6 +91,13 @@ class SweepGrid
     /** Chip-seed indices 0..seed_count-1 (the replication axis). */
     uint64_t seed_count = 1;
 
+    /** Glitch pulse axes; a single 0 keeps glitch-free grids'
+     * enumeration (and trial indices) untouched. Vary faster than
+     * impedance-mohm and slower than the key axis. */
+    std::vector<double> glitch_offs_ns{0.0};
+    std::vector<double> glitch_widths_ns{0.0};
+    std::vector<double> glitch_depths_v{0.0};
+
     /** Number of trials in the grid (product of axis sizes). */
     uint64_t size() const;
 
@@ -95,12 +108,17 @@ class SweepGrid
      * Parse a `key=v1,v2;...` spec (';' or newline separated, '#'
      * comments allowed). Unknown keys, empty value lists and malformed
      * numbers are fatal(). Keys: board, target, attack, temp, off-ms,
-     * current, impedance-mohm, key, seeds.
+     * current, impedance-mohm, glitch-off-ns, glitch-width-ns,
+     * glitch-depth, key, seeds.
      */
     static SweepGrid parse(const std::string &spec);
 
     /** Canonical re-rendering of the spec (stable across parses). */
     std::string describe() const;
+
+    /** Human-readable table of every axis: spec key, unit, default and
+     * accepted values (the `sweep --list-axes` text). */
+    static std::string axesHelp();
 
     /** Lazy forward iterator over TrialSpecs. */
     class const_iterator

@@ -169,6 +169,35 @@ runTrial(const TrialSpec &spec, uint64_t campaign_seed)
     Soc soc(cfg);
     soc.setAmbient(Temperature::celsius(spec.temp_c));
     soc.powerOn();
+
+    if (spec.attack == AttackKind::Glitch) {
+        // No probe, no power cycle: GlitchAttack stages its own
+        // signature-check victim, so the retention victim is skipped.
+        GlitchConfig gcfg;
+        gcfg.pulse.offset = Seconds::nanoseconds(spec.glitch_off_ns);
+        gcfg.pulse.width = Seconds::nanoseconds(spec.glitch_width_ns);
+        gcfg.pulse.depth = Volt(spec.glitch_depth_v);
+        // Domain-separated from the victim-staging rng stream.
+        gcfg.seed = hashCombine(deriveTrialSeed(campaign_seed,
+                                                spec.index),
+                                0x617cULL);
+        GlitchAttack attack(soc, gcfg);
+        const GlitchOutcome out = attack.execute();
+        rec.glitch_faults = out.faults_injected;
+        for (size_t i = 0; i < out.effects.size(); ++i) {
+            if (i)
+                rec.glitch_effect += ',';
+            rec.glitch_effect += out.effects[i];
+        }
+        rec.glitch_bypassed = out.bypassed;
+        rec.accuracy = out.bypassed ? 1.0 : 0.0;
+        rec.bit_error_rate = 1.0 - rec.accuracy;
+        if (out.crashed)
+            rec.detail = out.crash_reason;
+        rec.status = TrialStatus::Ok;
+        return rec;
+    }
+
     const Victim victim = stageVictim(soc, spec, rng);
 
     if (spec.attack == AttackKind::VoltBoot) {

@@ -1,9 +1,12 @@
 #include "core/attack.hh"
 
 #include <chrono>
+#include <cmath>
+#include <optional>
 #include <sstream>
 
 #include "isa/assembler.hh"
+#include "sim/rng.hh"
 #include "mem/memory_system.hh"
 #include "os/workloads.hh"
 #include "sim/logging.hh"
@@ -512,6 +515,213 @@ MemoryImage
 ColdBootAttack::dumpL1Way(size_t core, L1Ram ram, size_t way)
 {
     return extractor_.dumpL1Way(core, ram, way);
+}
+
+namespace
+{
+
+/** Clears the core's injector on every exit path (the Cpu outlives the
+ * attack object; a dangling injector would be read on the next run). */
+class InjectorGuard
+{
+  public:
+    InjectorGuard(Cpu &cpu, FaultInjector *injector) : cpu_(cpu)
+    {
+        cpu_.setFaultInjector(injector);
+    }
+    ~InjectorGuard() { cpu_.setFaultInjector(nullptr); }
+
+  private:
+    Cpu &cpu_;
+};
+
+/**
+ * Emit the whole pulse into the trace in one batch: one
+ * voltage.<domain> Counter sample per instruction boundary inside the
+ * pulse, a guaranteed return-to-nominal sample at pulse end, then the
+ * "power" Complete span glitch.pulse bracketing them (children before
+ * parents, as the span aggregator expects). Timestamps are assigned
+ * manually, so the batch may be emitted at any sim time at or after
+ * the pulse end.
+ */
+void
+emitPulseTrace(const fault::GlitchWaveform &wave,
+               const std::string &domain, Seconds anchor, Seconds cycle)
+{
+    if (!trace::enabled())
+        return;
+    const std::string counter_name = "voltage." + domain;
+    auto sample = [&](double t_rel, double v) {
+        trace::TraceEvent ev;
+        ev.phase = trace::Phase::Counter;
+        ev.category = "power";
+        ev.name = counter_name;
+        ev.ts = Seconds(anchor.seconds() + t_rel);
+        ev.args.push_back({"v", v});
+        trace::emit(std::move(ev));
+    };
+    const double t0 = wave.start().seconds();
+    const double t3 = wave.end().seconds();
+    const double cyc = cycle.seconds();
+    double last_v = wave.nominal().volts();
+    for (double t = (std::floor(t0 / cyc) + 1.0) * cyc; t < t3;
+         t += cyc) {
+        const double v = wave.at(Seconds(t)).volts();
+        if (v != last_v) {
+            sample(t, v);
+            last_v = v;
+        }
+    }
+    sample(t3, wave.nominal().volts());
+
+    trace::TraceEvent span;
+    span.phase = trace::Phase::Complete;
+    span.category = "power";
+    span.name = "glitch.pulse";
+    span.ts = Seconds(anchor.seconds() + t0);
+    span.dur = wave.params().width;
+    span.args.push_back({"domain", domain});
+    span.args.push_back({"nominal_v", wave.nominal().volts()});
+    span.args.push_back({"depth_v", wave.params().depth.volts()});
+    span.args.push_back({"offset_s", t0});
+    span.args.push_back({"width_s", wave.params().width.seconds()});
+    trace::emit(std::move(span));
+}
+
+} // namespace
+
+GlitchAttack::GlitchAttack(Soc &soc, GlitchConfig config)
+    : soc_(soc), config_(config)
+{
+}
+
+GlitchOutcome
+GlitchAttack::execute()
+{
+    if (!soc_.poweredOn())
+        fatal("GlitchAttack: the board must be powered on");
+
+    StepScope scope(soc_, "attack.glitch");
+    scope.arg({"offset_s", config_.pulse.offset.seconds()});
+    scope.arg({"width_s", config_.pulse.width.seconds()});
+    scope.arg({"depth_v", config_.pulse.depth.volts()});
+
+    const uint64_t dram = soc_.config().dram_base;
+    const uint64_t load = dram + config_.load_offset;
+    const uint64_t fw_base = dram + config_.firmware_offset;
+    const uint64_t result_addr = dram + config_.result_offset;
+
+    // Stage the attacker's (tampered) firmware: arbitrary bytes whose
+    // MAC can never match the tag the vendor signed.
+    std::vector<uint64_t> fw(config_.fw_words);
+    std::vector<uint8_t> fw_bytes(fw.size() * 8);
+    for (size_t i = 0; i < fw.size(); ++i) {
+        fw[i] = hashCombine(0xf1a5ULL, i);
+        for (size_t b = 0; b < 8; ++b)
+            fw_bytes[i * 8 + b] = static_cast<uint8_t>(fw[i] >> (8 * b));
+    }
+    soc_.loadBytes(fw_base, fw_bytes);
+    const uint64_t signed_tag = workloads::signatureCheckTag(fw) ^ 1;
+
+    victim_source_ = workloads::signatureCheck(fw_base, config_.fw_words,
+                                               signed_tag, result_addr);
+    Program victim = Assembler::assemble(victim_source_);
+    victim.load_address = load;
+    soc_.loadProgram(victim);
+    soc_.memory().l1i(0).invalidateAll();
+    soc_.memory().l1d(0).invalidateAll();
+
+    const DomainSpec &domain = soc_.config().core_domain;
+    const fault::GlitchWaveform wave(domain.nominal, config_.pulse,
+                                     config_.crowbar_impedance,
+                                     domain.decap);
+    const bool live = !config_.pulse.degenerate();
+
+    std::optional<fault::TimingFaultModel> model;
+    if (live) {
+        fault::TimingFaultConfig fcfg;
+        fcfg.margin_fraction = config_.margin_fraction;
+        fcfg.crash_fraction = config_.crash_fraction;
+        fcfg.seed = config_.seed;
+        model.emplace(fcfg, wave, config_.cycle);
+    }
+
+    Cpu &cpu = soc_.cpu(0);
+    InjectorGuard guard(cpu, live ? &*model : nullptr);
+    cpu.reset(load);
+
+    const Seconds anchor = soc_.eventQueue().now();
+    const double cyc = config_.cycle.seconds();
+    const double pulse_end = wave.end().seconds();
+
+    GlitchOutcome out;
+    bool wild = false;
+    bool pulse_traced = false;
+    uint64_t steps = 0;
+    while (steps < config_.max_steps) {
+        // The boundary about to execute sits at anchor + steps*cycle;
+        // once the clock passes the pulse, its trace can be emitted
+        // (all batch timestamps are then in the past).
+        if (live && !pulse_traced && steps * cyc >= pulse_end) {
+            emitPulseTrace(wave, domain.name, anchor, config_.cycle);
+            pulse_traced = true;
+        }
+        bool more;
+        if (live) {
+            try {
+                more = cpu.step();
+            } catch (const std::exception &) {
+                // The fault sent execution somewhere unmapped or
+                // misaligned: architecturally a crash, not a
+                // simulator error.
+                wild = true;
+                more = false;
+            }
+        } else {
+            more = cpu.step();
+        }
+        ++steps;
+        soc_.advanceTime(config_.cycle);
+        if (!more)
+            break;
+    }
+
+    if (live && !pulse_traced) {
+        // The victim stopped inside (or before) the pulse; the rail
+        // still completes its excursion. Let the clock catch up, then
+        // record it.
+        const Seconds now = soc_.eventQueue().now();
+        const double past_end =
+            anchor.seconds() + pulse_end + cyc - now.seconds();
+        if (past_end > 0.0)
+            soc_.advanceTime(Seconds(past_end));
+        emitPulseTrace(wave, domain.name, anchor, config_.cycle);
+    }
+
+    out.steps = steps;
+    if (live) {
+        out.faults_injected = model->faultsInjected();
+        for (const fault::FaultEvent &ev : model->events())
+            out.effects.push_back(toString(ev.effect));
+    }
+    out.completed = !wild && cpu.halted() && cpu.fault() == CpuFault::None;
+    if (wild) {
+        out.crashed = true;
+        out.crash_reason = "wild_execution";
+    } else if (cpu.fault() != CpuFault::None) {
+        out.crashed = true;
+        out.crash_reason = toString(cpu.fault());
+    } else if (!cpu.halted()) {
+        out.crashed = true;
+        out.crash_reason = "hang";
+    }
+    if (out.completed)
+        out.bypassed = soc_.port(0).read64(result_addr) == 1;
+
+    scope.arg({"bypassed", out.bypassed});
+    scope.arg({"crashed", out.crashed});
+    scope.arg({"faults", out.faults_injected});
+    return out;
 }
 
 } // namespace voltboot

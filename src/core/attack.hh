@@ -38,6 +38,8 @@
 #include <vector>
 
 #include "core/analysis.hh"
+#include "fault/fault_model.hh"
+#include "fault/glitch.hh"
 #include "power/transient.hh"
 #include "soc/soc.hh"
 #include "sram/memory_image.hh"
@@ -166,6 +168,85 @@ class ColdBootAttack
 /** The attacker's RAMINDEX extraction program for one L1 way. */
 Program buildWayExtractor(const Soc &soc, L1Ram ram, size_t way,
                           uint64_t load_address, uint64_t dump_base);
+
+/**
+ * Glitcher bench settings: the crowbar pulse plus the fault-model
+ * calibration and the victim layout. A default-constructed config has
+ * a degenerate (absent) pulse: running it is byte-identical to running
+ * the victim with no glitch hardware attached at all.
+ */
+struct GlitchConfig
+{
+    /** The pulse: offset/width in victim sim time, depth in volts. */
+    fault::GlitchParams pulse;
+    /** Core clock period: one instruction boundary per cycle. */
+    Seconds cycle = Seconds::nanoseconds(1.0);
+    /** Crowbar MOSFET on-impedance (sets the pulse edge slew). */
+    Ohm crowbar_impedance = Ohm::milliohms(20.0);
+    /** Timing margin: boundaries can fault below this × nominal. */
+    double margin_fraction = 0.9;
+    /** Crash point: every boundary faults at this × nominal. */
+    double crash_fraction = 0.5;
+    /** Fault-stream seed (counter-hashed; no shared RNG state). */
+    uint64_t seed = 1;
+    /** Step budget for the victim run (hang cutoff). */
+    uint64_t max_steps = 100000;
+
+    /** Victim layout, as DRAM-base offsets. */
+    uint64_t load_offset = 0x1000;     ///< Signature-check program.
+    uint64_t firmware_offset = 0x8000; ///< The image being verified.
+    uint64_t result_offset = 0x400;    ///< The verdict word.
+    size_t fw_words = 16;              ///< Firmware length in words.
+};
+
+/** Outcome of one glitched signature-check run. */
+struct GlitchOutcome
+{
+    /** The win condition: the victim reached the `pass` path and
+     * recorded a valid verdict for an image that never verifies. */
+    bool bypassed = false;
+    /** The victim halted cleanly (pass or fail verdict recorded). */
+    bool completed = false;
+    /** The core faulted, ran wild, or hung past max_steps. */
+    bool crashed = false;
+    std::string crash_reason; ///< Fault name / "wild_execution" / "hang".
+    uint64_t steps = 0;
+    uint64_t faults_injected = 0;
+    /** Effect names of each injected fault, in boundary order. */
+    std::vector<std::string> effects;
+};
+
+/**
+ * Voltage-glitch fault injection against a secure-boot signature
+ * check, the third attack family: no probe and no power cycle — the
+ * board stays up — but a crowbar pulse on the core rail while the
+ * victim verifies a (deliberately tampered) firmware image. Success is
+ * reaching the `pass` label without a valid signature.
+ *
+ * Observability mirrors VoltBootAttack: the run executes under a
+ * "core" span `attack.glitch` carrying the pulse parameters and
+ * outcome; the pulse itself lands in the trace as a "power" span
+ * `glitch.pulse` over `voltage.<domain>` Counter samples, which is
+ * what the report layer's `glitch_bounds` invariant checks.
+ */
+class GlitchAttack
+{
+  public:
+    GlitchAttack(Soc &soc, GlitchConfig config = {});
+
+    /** Stage the victim, arm the glitcher, run, read the verdict. */
+    GlitchOutcome execute();
+
+    /** The exact victim source of the last execute() (ground truth). */
+    const std::string &victimSource() const { return victim_source_; }
+
+    const GlitchConfig &config() const { return config_; }
+
+  private:
+    Soc &soc_;
+    GlitchConfig config_;
+    std::string victim_source_;
+};
 
 } // namespace voltboot
 

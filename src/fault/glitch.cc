@@ -1,0 +1,51 @@
+#include "fault/glitch.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+namespace fault
+{
+
+GlitchWaveform::GlitchWaveform(Volt nominal, GlitchParams params,
+                               Ohm crowbar, Farad decap)
+    : nominal_(nominal), params_(params)
+{
+    if (nominal.volts() < 0.0)
+        fatal("GlitchWaveform: negative nominal voltage");
+    if (params.offset.seconds() < 0.0)
+        fatal("GlitchWaveform: negative glitch offset");
+    if (params.degenerate())
+        return; // identically nominal; edge_/floor_ unused
+
+    // Both edges slew with the crowbar-RC product; clamp so that the
+    // fall and the recovery always fit inside the pulse (a very wide
+    // pulse gets the full RC edge, a very narrow one degrades towards
+    // a triangle).
+    const double tau = crowbar.ohms() * decap.farads();
+    edge_ = Seconds(std::min(tau, params.width.seconds() / 2.0));
+    floor_ = Volt(std::max(nominal.volts() - params.depth.volts(), 0.0));
+}
+
+Volt
+GlitchWaveform::at(Seconds t) const
+{
+    if (params_.degenerate())
+        return nominal_;
+    const double rel = t.seconds() - params_.offset.seconds();
+    const double width = params_.width.seconds();
+    if (rel <= 0.0 || rel >= width)
+        return nominal_;
+    const double edge = edge_.seconds();
+    const double drop = nominal_.volts() - floor_.volts();
+    if (edge > 0.0 && rel < edge) // falling edge
+        return Volt(nominal_.volts() - drop * rel / edge);
+    if (edge > 0.0 && rel > width - edge) // recovery edge
+        return Volt(nominal_.volts() - drop * (width - rel) / edge);
+    return floor_;
+}
+
+} // namespace fault
+} // namespace voltboot

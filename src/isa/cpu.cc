@@ -21,6 +21,24 @@ toString(CpuFault fault)
     return "?";
 }
 
+const char *
+toString(FaultEffect effect)
+{
+    switch (effect) {
+      case FaultEffect::None:
+        return "none";
+      case FaultEffect::Skip:
+        return "skip";
+      case FaultEffect::OpcodeCorrupt:
+        return "opcode_corrupt";
+      case FaultEffect::WrongBranch:
+        return "wrong_branch";
+      case FaultEffect::RegisterBitFlip:
+        return "register_bitflip";
+    }
+    return "?";
+}
+
 Cpu::Cpu(unsigned core_id, MemoryPort &port, MemoryArray &xregs,
          MemoryArray &vregs)
     : core_id_(core_id), port_(port), xregs_(xregs), vregs_(vregs)
@@ -127,7 +145,31 @@ Cpu::step()
 {
     if (halted_)
         return false;
-    const uint32_t insn = port_.fetch32(pc_);
+    uint32_t insn = port_.fetch32(pc_);
+    if (injector_) {
+        const FaultAction a = injector_->onInstruction(pc_, insn, retired_);
+        switch (a.effect) {
+          case FaultEffect::None:
+            break;
+          case FaultEffect::Skip:
+            // The instruction never retires architecturally, but the
+            // boundary still counts against the fault clock.
+            pc_ += 4;
+            ++retired_;
+            return !halted_;
+          case FaultEffect::OpcodeCorrupt:
+            insn = a.insn_override;
+            break;
+          case FaultEffect::WrongBranch:
+            pc_ = a.branch_target;
+            ++retired_;
+            return !halted_;
+          case FaultEffect::RegisterBitFlip:
+            // The flip hits the register file before the read path.
+            setX(a.reg, x(a.reg) ^ (1ull << (a.bit & 63)));
+            break;
+        }
+    }
     execute(insn);
     ++retired_;
     return !halted_;

@@ -41,6 +41,46 @@ enum class CpuFault
 
 const char *toString(CpuFault fault);
 
+/**
+ * Architecturally visible effect of one injected timing fault — the
+ * four failure modes the voltage-glitching literature observes when a
+ * supply droop violates a pipeline's setup time.
+ */
+enum class FaultEffect
+{
+    None,            ///< The boundary survived; execute normally.
+    Skip,            ///< The instruction never retires (pc advances).
+    OpcodeCorrupt,   ///< A different word reaches the decoder.
+    WrongBranch,     ///< Control transfers to an unintended target.
+    RegisterBitFlip, ///< A register-file bit flips before the read.
+};
+
+const char *toString(FaultEffect effect);
+
+/** One fault decision, with the payload its effect needs. */
+struct FaultAction
+{
+    FaultEffect effect = FaultEffect::None;
+    uint32_t insn_override = 0;  ///< OpcodeCorrupt: word to execute.
+    uint64_t branch_target = 0;  ///< WrongBranch: next program counter.
+    unsigned reg = 0;            ///< RegisterBitFlip: x-register index.
+    unsigned bit = 0;            ///< RegisterBitFlip: bit to flip.
+};
+
+/**
+ * Consulted by the core at every instruction boundary (after fetch,
+ * before execute). Implementations must be deterministic functions of
+ * their own state and the (pc, insn, retired) triple — the campaign
+ * layer relies on byte-identical replays at any worker count.
+ */
+class FaultInjector
+{
+  public:
+    virtual ~FaultInjector() = default;
+    virtual FaultAction onInstruction(uint64_t pc, uint32_t insn,
+                                      uint64_t retired) = 0;
+};
+
 /** Abstract memory/system interface the core executes against. */
 class MemoryPort
 {
@@ -132,6 +172,13 @@ class Cpu
     /** Execute one instruction. Returns false once halted/faulted. */
     bool step();
 
+    /** Install (or clear, with nullptr) the timing-fault injector
+     * consulted at each instruction boundary. Not owned. */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
     /** Run at most @p max_steps instructions; returns steps executed. */
     uint64_t run(uint64_t max_steps);
 
@@ -153,6 +200,7 @@ class Cpu
     bool halted_ = false;
     CpuFault fault_ = CpuFault::None;
     uint64_t retired_ = 0;
+    FaultInjector *injector_ = nullptr;
 
     // RAMINDEX requires DSB;ISB since the last memory operation
     // (Section 6.1's synchronisation-barrier requirement).

@@ -135,5 +135,53 @@ patternStoreGroundTruth(size_t bytes, uint8_t pattern)
     return std::vector<uint8_t>(bytes, pattern);
 }
 
+namespace
+{
+// The MAC's multiply constant (odd, so invertible mod 2^64).
+constexpr uint64_t kSigCheckMultiplier = 0x9e3779b97f4a7c15ULL;
+} // namespace
+
+uint64_t
+signatureCheckTag(const std::vector<uint64_t> &words)
+{
+    uint64_t acc = 0;
+    for (const uint64_t w : words)
+        acc = (acc ^ w) * kSigCheckMultiplier;
+    return acc;
+}
+
+std::string
+signatureCheck(uint64_t fw_base, size_t fw_words, uint64_t expected_tag,
+               uint64_t result_addr)
+{
+    if (fw_words == 0)
+        fatal("signatureCheck: firmware must be at least one word");
+    std::ostringstream os;
+    os << "// Glitch victim: secure-boot signature check over "
+       << fw_words << " firmware words\n";
+    os << "    movz x9, #0\n"; // verdict defaults to fail
+    os << loadImm64("x10", result_addr);
+    os << "    movz x0, #0\n"; // MAC accumulator
+    os << loadImm64("x1", fw_base);
+    os << loadImm64("x2", fw_words);
+    os << loadImm64("x5", kSigCheckMultiplier);
+    os << "mac_loop:\n";
+    os << "    ldr x3, [x1]\n";
+    os << "    eor x0, x0, x3\n";
+    os << "    mul x0, x0, x5\n";
+    os << "    add x1, x1, #8\n";
+    os << "    sub x2, x2, #1\n";
+    os << "    cbnz x2, mac_loop\n";
+    os << loadImm64("x6", expected_tag);
+    os << "    cmp x0, x6\n";
+    os << "    b.ne reject\n";
+    os << "pass:\n";
+    os << "    movz x9, #1\n";
+    os << "reject:\n";
+    os << "    str x9, [x10]\n";
+    os << "    hlt\n";
+    return os.str();
+}
+
 } // namespace workloads
 } // namespace voltboot

@@ -59,6 +59,26 @@ std::string ramIndexDump(unsigned ram_id, size_t ways, size_t sets,
                          size_t words_per_line, uint64_t dump_base);
 
 /**
+ * The glitch target: a secure-boot-style signature check. The victim
+ * MACs @p fw_words 8-byte words of firmware at @p fw_base (multiply-xor
+ * compression, one round per word), compares the digest against the
+ * embedded @p expected_tag, and stores a verdict word to
+ * @p result_addr: 1 if the image verified ("pass"), 0 otherwise
+ * ("fail"). The attacker's tampered image never matches, so reaching
+ * the pass path without a valid tag requires faulting the
+ * compare-and-branch — the classic voltage-glitch win condition.
+ */
+std::string signatureCheck(uint64_t fw_base, size_t fw_words,
+                           uint64_t expected_tag, uint64_t result_addr);
+
+/**
+ * The digest signatureCheck() computes over @p words — for staging a
+ * *valid* image (expected_tag = signatureCheckTag(words)) or a broken
+ * one (any other tag).
+ */
+uint64_t signatureCheckTag(const std::vector<uint64_t> &words);
+
+/**
  * Expected ground-truth bytes for patternStore: what the victim's memory
  * region holds after the program ran.
  */

@@ -167,6 +167,19 @@ parseSweepJson(std::string_view text, const std::string &source)
         rec.key_planted = boolean(r, "key_planted", source);
         rec.key_found = boolean(r, "key_found", source);
         rec.key_exact = boolean(r, "key_exact", source);
+        // Glitch fields postdate the v1 schema; absent in old sweeps.
+        if (r.find("glitch_off_ns"))
+            rec.glitch_off_ns = num(r, "glitch_off_ns", source);
+        if (r.find("glitch_width_ns"))
+            rec.glitch_width_ns = num(r, "glitch_width_ns", source);
+        if (r.find("glitch_depth_v"))
+            rec.glitch_depth_v = num(r, "glitch_depth_v", source);
+        if (r.find("glitch_faults"))
+            rec.glitch_faults = uns(r, "glitch_faults", source);
+        if (r.find("glitch_effect"))
+            rec.glitch_effect = str(r, "glitch_effect", source);
+        if (r.find("glitch_bypassed"))
+            rec.glitch_bypassed = boolean(r, "glitch_bypassed", source);
         sweep.records.push_back(std::move(rec));
     }
 

@@ -50,6 +50,15 @@ struct SweepRecord
     bool key_planted = false;
     bool key_found = false;
     bool key_exact = false;
+
+    /** Glitch axes and outcome; default-zero when reading sweeps
+     * written before the glitch attack existed. */
+    double glitch_off_ns = 0.0;
+    double glitch_width_ns = 0.0;
+    double glitch_depth_v = 0.0;
+    uint64_t glitch_faults = 0;
+    std::string glitch_effect;
+    bool glitch_bypassed = false;
 };
 
 /** A whole sweep document. */

@@ -1,6 +1,8 @@
 #include "report/invariants.hh"
 
+#include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <map>
 #include <optional>
 
@@ -242,6 +244,90 @@ checkAttackStepOrder(std::span<const trace::TraceEvent> events,
     }
 }
 
+/**
+ * Every "power"/"glitch.pulse" span promises a bounded excursion: all
+ * voltage.<domain> samples inside the span stay within
+ * [nominal - depth, nominal], and the last sample in the window is back
+ * at nominal (the rail recovers before the span ends). A pulse span
+ * with no samples at all is also a violation — the waveform was claimed
+ * but never observed.
+ */
+void
+checkGlitchBounds(std::span<const trace::TraceEvent> events,
+                  std::vector<Violation> &out)
+{
+    for (size_t i = 0; i < events.size(); ++i) {
+        const trace::TraceEvent &ev = events[i];
+        if (ev.phase != trace::Phase::Complete ||
+            std::string(ev.category) != "power" ||
+            ev.name != "glitch.pulse")
+            continue;
+        const std::string domain = argString(ev, "domain");
+        const auto nominal = argNumber(ev, "nominal_v");
+        const auto depth = argNumber(ev, "depth_v");
+        if (domain.empty() || !nominal || !depth) {
+            out.push_back({"glitch_bounds", i,
+                           "glitch.pulse span lacks domain/nominal_v/"
+                           "depth_v args"});
+            continue;
+        }
+        const double start = ev.ts.seconds();
+        const double end = start + ev.dur.seconds();
+        const double floor =
+            std::max(*nominal - *depth, 0.0) - kEps;
+        const std::string counter =
+            std::string(kVoltagePrefix) + domain;
+        size_t samples = 0;
+        std::optional<double> last_v;
+        // The pulse span is emitted after its samples (children first),
+        // so every sample it covers precedes it in the stream.
+        for (size_t j = 0; j < i; ++j) {
+            const trace::TraceEvent &s = events[j];
+            if (s.phase != trace::Phase::Counter || s.name != counter)
+                continue;
+            const double at = s.ts.seconds();
+            if (at < start - kEps || at > end + kEps)
+                continue;
+            const auto v = argNumber(s, "v");
+            if (!v)
+                continue;
+            ++samples;
+            last_v = *v;
+            if (*v < floor)
+                out.push_back(
+                    {"glitch_bounds", j,
+                     "voltage." + domain + " sampled at " +
+                         std::to_string(*v) +
+                         " V inside a glitch pulse of depth " +
+                         std::to_string(*depth) + " V (floor " +
+                         std::to_string(std::max(*nominal - *depth,
+                                                 0.0)) +
+                         " V)"});
+            if (*v > *nominal + kEps)
+                out.push_back(
+                    {"glitch_bounds", j,
+                     "voltage." + domain + " sampled at " +
+                         std::to_string(*v) +
+                         " V, above nominal " +
+                         std::to_string(*nominal) +
+                         " V inside a glitch pulse"});
+        }
+        if (samples == 0) {
+            out.push_back({"glitch_bounds", i,
+                           "glitch.pulse span on " + domain +
+                               " covers no voltage samples"});
+            continue;
+        }
+        if (last_v && std::abs(*last_v - *nominal) > kEps)
+            out.push_back(
+                {"glitch_bounds", i,
+                 "voltage." + domain + " ends a glitch pulse at " +
+                     std::to_string(*last_v) +
+                     " V instead of recovering to nominal " +
+                     std::to_string(*nominal) + " V"});
+    }
+}
+
 } // namespace
 
 std::vector<Violation>
@@ -253,6 +339,7 @@ checkTraceInvariants(std::span<const trace::TraceEvent> events)
     checkVoltages(events, out);
     checkProbeHold(events, out);
     checkAttackStepOrder(events, out);
+    checkGlitchBounds(events, out);
     return out;
 }
 

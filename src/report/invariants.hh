@@ -32,6 +32,10 @@
  *    paper's four-step order (steps 1–2 probe, step 3 power cycle,
  *    step 4 extract); a later step never precedes an earlier one
  *    except where a fresh attack run restarts the sequence.
+ *  - `glitch_bounds` — every `power`/`glitch.pulse` span covers at
+ *    least one `voltage.<domain>` sample, all covered samples stay
+ *    within `[nominal - depth, nominal]`, and the last covered sample
+ *    has recovered to nominal before the span ends.
  */
 
 #ifndef VOLTBOOT_REPORT_INVARIANTS_HH

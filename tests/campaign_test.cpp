@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <set>
+#include <tuple>
 
 #include "campaign/campaign.hh"
 #include "campaign/campaign_result.hh"
@@ -297,6 +299,160 @@ TEST(TrialRunner, PlantedKeyIsRecoveredUnderVoltBoot)
     EXPECT_TRUE(rec.key_planted);
     EXPECT_TRUE(rec.key_found);
     EXPECT_TRUE(rec.key_exact);
+}
+
+// --- glitch axes and the RFC 4180 CSV writer -------------------------
+
+TEST(SweepGrid, GlitchAxesMultiplyAndDecode)
+{
+    SweepGrid grid = SweepGrid::parse(
+        "attack=glitch;glitch-off-ns=100,109;glitch-width-ns=2,4;"
+        "glitch-depth=0.1,0.3,0.5;seeds=2");
+    EXPECT_EQ(grid.size(), 2u * 2u * 3u * 2u);
+
+    std::set<std::tuple<double, double, double, uint64_t>> seen;
+    for (const TrialSpec &spec : grid) {
+        EXPECT_EQ(spec.attack, AttackKind::Glitch);
+        seen.insert({spec.glitch_off_ns, spec.glitch_width_ns,
+                     spec.glitch_depth_v, spec.seed_index});
+    }
+    EXPECT_EQ(seen.size(), grid.size());
+
+    // The canonical description round-trips, glitch axes included.
+    EXPECT_EQ(SweepGrid::parse(grid.describe()).describe(),
+              grid.describe());
+}
+
+TEST(SweepGrid, DefaultGlitchAxesKeepOldIndicesStable)
+{
+    // A glitch-free grid must enumerate exactly as it did before the
+    // glitch axes existed: the single-element {0} axes are invisible.
+    SweepGrid grid = SweepGrid::parse(
+        "board=pi3,pi4;temp=-80,25;seeds=3");
+    EXPECT_EQ(grid.size(), 12u);
+    const TrialSpec spec = grid.at(7);
+    EXPECT_EQ(spec.seed_index, 1u);
+    EXPECT_DOUBLE_EQ(spec.temp_c, -80.0);
+    EXPECT_EQ(spec.board, "pi4");
+    EXPECT_DOUBLE_EQ(spec.glitch_off_ns, 0.0);
+    EXPECT_DOUBLE_EQ(spec.glitch_width_ns, 0.0);
+    EXPECT_DOUBLE_EQ(spec.glitch_depth_v, 0.0);
+}
+
+TEST(CsvEscape, RoundTripsCommasQuotesAndNewlines)
+{
+    const std::vector<std::string> fields{
+        "plain",      "with,comma",         "with\"quote",
+        "\"quoted\"", "multi\nline\r\nrow", "skip,opcode_corrupt",
+        ""};
+    std::string row;
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            row += ',';
+        row += csvEscape(fields[i]);
+    }
+    EXPECT_EQ(splitCsvRow(row), fields);
+    // Unremarkable fields pass through unquoted.
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("a\"b"), "\"a\"\"b\"");
+}
+
+TEST(Campaign, CsvQuotesEmbeddedCommasAndRoundTrips)
+{
+    CampaignResult result;
+    TrialRecord rec;
+    rec.spec.index = 0;
+    rec.spec.board = "pi4,rev1.4"; // hostile board name
+    rec.spec.attack = AttackKind::Glitch;
+    rec.status = TrialStatus::Ok;
+    rec.glitch_faults = 2;
+    rec.glitch_effect = "skip,opcode_corrupt"; // embedded commas
+    rec.glitch_bypassed = true;
+    rec.detail = "said \"pass\", then crashed";
+    result.records.push_back(rec);
+
+    const std::string csv = result.toCsv();
+    // Exactly two lines: quoting kept every field on one row.
+    size_t newlines = 0;
+    for (char c : csv)
+        newlines += c == '\n';
+    ASSERT_EQ(newlines, 2u);
+
+    const std::string header = csv.substr(0, csv.find('\n'));
+    const std::string row = csv.substr(
+        csv.find('\n') + 1, csv.size() - csv.find('\n') - 2);
+    const std::vector<std::string> cols = splitCsvRow(header);
+    const std::vector<std::string> vals = splitCsvRow(row);
+    ASSERT_EQ(cols.size(), vals.size());
+
+    std::map<std::string, std::string> byCol;
+    for (size_t i = 0; i < cols.size(); ++i)
+        byCol[cols[i]] = vals[i];
+    EXPECT_EQ(byCol.at("board"), "pi4,rev1.4");
+    EXPECT_EQ(byCol.at("glitch_effect"), "skip,opcode_corrupt");
+    EXPECT_EQ(byCol.at("glitch_bypassed"), "1");
+    EXPECT_EQ(byCol.at("glitch_faults"), "2");
+    EXPECT_EQ(byCol.at("detail"), "said \"pass\", then crashed");
+}
+
+TEST(Campaign, GlitchSweepIsByteIdenticalAcrossJobCounts)
+{
+    const SweepGrid grid = SweepGrid::parse(
+        "attack=glitch;glitch-off-ns=105,109;glitch-width-ns=2;"
+        "glitch-depth=0.04,0.5;seeds=1");
+    CampaignConfig one, four;
+    one.jobs = 1;
+    four.jobs = 4;
+    const CampaignResult a = Campaign(grid, one).run();
+    const CampaignResult b = Campaign(grid, four).run();
+    EXPECT_EQ(a.toJson(), b.toJson());
+    EXPECT_EQ(a.toCsv(), b.toCsv());
+
+    const CampaignSummary s = a.summary();
+    EXPECT_EQ(s.glitch_trials, 4u);
+    EXPECT_EQ(s.errors, 0u);
+}
+
+TEST(TrialRunner, GlitchTrialRecordsOutcome)
+{
+    // Sub-margin depth: deterministically zero faults, no bypass.
+    SweepGrid shallow = SweepGrid::parse(
+        "attack=glitch;glitch-off-ns=109;glitch-width-ns=2;"
+        "glitch-depth=0.04");
+    const TrialRecord rec = runTrial(shallow.at(0), 0x5eed);
+    EXPECT_EQ(rec.status, TrialStatus::Ok);
+    EXPECT_EQ(rec.glitch_faults, 0u);
+    EXPECT_TRUE(rec.glitch_effect.empty());
+    EXPECT_FALSE(rec.glitch_bypassed);
+    EXPECT_DOUBLE_EQ(rec.accuracy, 0.0);
+    EXPECT_DOUBLE_EQ(rec.bit_error_rate, 1.0);
+}
+
+TEST(TrialRunner, DegenerateGlitchSpecMatchesNoGlitchSpec)
+{
+    // A zero-width (or zero-depth) pulse is the documented no-op: the
+    // trial outcome must match the all-zero glitch point bit for bit.
+    SweepGrid none = SweepGrid::parse("attack=glitch");
+    SweepGrid zero_w = SweepGrid::parse(
+        "attack=glitch;glitch-width-ns=0;glitch-depth=0.5");
+    SweepGrid zero_d = SweepGrid::parse(
+        "attack=glitch;glitch-off-ns=50;glitch-width-ns=2;"
+        "glitch-depth=0");
+    const TrialRecord a = runTrial(none.at(0), 0x5eed);
+    const TrialRecord b = runTrial(zero_w.at(0), 0x5eed);
+    const TrialRecord c = runTrial(zero_d.at(0), 0x5eed);
+    for (const TrialRecord *r : {&b, &c}) {
+        EXPECT_EQ(r->status, a.status);
+        EXPECT_EQ(r->chip_seed, a.chip_seed);
+        EXPECT_EQ(r->glitch_faults, a.glitch_faults);
+        EXPECT_EQ(r->glitch_effect, a.glitch_effect);
+        EXPECT_EQ(r->glitch_bypassed, a.glitch_bypassed);
+        EXPECT_EQ(r->detail, a.detail);
+        EXPECT_DOUBLE_EQ(r->accuracy, a.accuracy);
+        EXPECT_DOUBLE_EQ(r->bit_error_rate, a.bit_error_rate);
+    }
+    EXPECT_EQ(a.glitch_faults, 0u);
 }
 
 TEST(TrialRunner, SameChipSeedIndexMeansSameSilicon)

@@ -521,6 +521,81 @@ TEST(Invariants, DetectsAttackStepDisorder)
     EXPECT_TRUE(report::checkTraceInvariants(ok).empty());
 }
 
+trace::TraceEvent
+glitchSpan(double start_s, double end_s, const char *domain,
+           double nominal_v, double depth_v)
+{
+    trace::TraceEvent ev;
+    ev.phase = trace::Phase::Complete;
+    ev.category = "power";
+    ev.name = "glitch.pulse";
+    ev.ts = Seconds(start_s);
+    ev.dur = Seconds(end_s - start_s);
+    ev.args.emplace_back("domain", domain);
+    ev.args.emplace_back("nominal_v", nominal_v);
+    ev.args.emplace_back("depth_v", depth_v);
+    return ev;
+}
+
+TEST(Invariants, GlitchBoundsAcceptsAWellFormedPulse)
+{
+    std::vector<trace::TraceEvent> events;
+    events.push_back(counterAt("voltage.VDD_CORE", 1.0e-9, 0.6));
+    events.push_back(counterAt("voltage.VDD_CORE", 2.0e-9, 0.5));
+    events.push_back(counterAt("voltage.VDD_CORE", 3.0e-9, 0.8));
+    events.push_back(glitchSpan(0.5e-9, 3.0e-9, "VDD_CORE", 0.8, 0.3));
+    EXPECT_TRUE(report::checkTraceInvariants(events).empty());
+}
+
+TEST(Invariants, DetectsGlitchExcursionBeyondDepth)
+{
+    std::vector<trace::TraceEvent> events;
+    events.push_back(counterAt("voltage.VDD_CORE", 1.0e-9, 0.4)); // !
+    events.push_back(counterAt("voltage.VDD_CORE", 3.0e-9, 0.8));
+    events.push_back(glitchSpan(0.5e-9, 3.0e-9, "VDD_CORE", 0.8, 0.3));
+    EXPECT_TRUE(hasViolation(report::checkTraceInvariants(events),
+                             "glitch_bounds"));
+}
+
+TEST(Invariants, DetectsGlitchThatNeverRecovers)
+{
+    std::vector<trace::TraceEvent> events;
+    events.push_back(counterAt("voltage.VDD_CORE", 1.0e-9, 0.6));
+    events.push_back(counterAt("voltage.VDD_CORE", 2.9e-9, 0.6));
+    events.push_back(glitchSpan(0.5e-9, 3.0e-9, "VDD_CORE", 0.8, 0.3));
+    EXPECT_TRUE(hasViolation(report::checkTraceInvariants(events),
+                             "glitch_bounds"));
+}
+
+TEST(Invariants, DetectsGlitchPulseWithoutSamples)
+{
+    std::vector<trace::TraceEvent> events;
+    events.push_back(glitchSpan(0.5e-9, 3.0e-9, "VDD_CORE", 0.8, 0.3));
+    EXPECT_TRUE(hasViolation(report::checkTraceInvariants(events),
+                             "glitch_bounds"));
+}
+
+TEST(Invariants, RealGlitchTrialTracePasses)
+{
+    const SweepGrid grid = SweepGrid::parse(
+        "attack=glitch;glitch-off-ns=109;glitch-width-ns=2;"
+        "glitch-depth=0.5;seeds=1");
+    trace::MemoryTraceSink sink;
+    {
+        trace::Scope scope(sink);
+        runTrial(grid.at(0), 0x5eed);
+    }
+    bool has_pulse = false;
+    for (const trace::TraceEvent &ev : sink.events())
+        has_pulse |= ev.phase == trace::Phase::Complete &&
+                     ev.name == "glitch.pulse";
+    EXPECT_TRUE(has_pulse);
+    const std::vector<report::Violation> violations =
+        report::checkTraceInvariants(sink.events());
+    EXPECT_TRUE(violations.empty())
+        << report::renderViolations(violations);
+}
+
 // --- metrics reservoir cap -------------------------------------------
 
 TEST(MetricsCap, ExactMomentsAndStablePercentilesAtCap)
@@ -926,6 +1001,41 @@ TEST(Cli, ReportCampaignEndToEnd)
         dir);
     EXPECT_EQ(metrics.exit_code, 0) << metrics.err;
     EXPECT_NE(metrics.out.find("\"counters\""), std::string::npos);
+}
+
+TEST(Cli, SweepListAxesEnumeratesEveryAxis)
+{
+    const std::string dir = tempDir("cli_axes");
+    const CliResult r = runCli("sweep --list-axes", dir);
+    EXPECT_EQ(r.exit_code, 0) << r.err;
+    for (const char *axis :
+         {"board", "target", "attack", "temp", "off-ms", "current",
+          "impedance-mohm", "glitch-off-ns", "glitch-width-ns",
+          "glitch-depth", "key", "seeds"})
+        EXPECT_NE(r.out.find(axis), std::string::npos) << axis;
+    EXPECT_NE(r.out.find("unit"), std::string::npos);
+    EXPECT_NE(r.out.find("Enumeration order"), std::string::npos);
+}
+
+TEST(Cli, GlitchSweepTracesPassTheChecker)
+{
+    const std::string dir = tempDir("cli_glitch");
+    const std::string traces = dir + "/traces";
+    const CliResult sweep = runCli(
+        "sweep --grid \"attack=glitch;glitch-off-ns=109;"
+        "glitch-width-ns=2;glitch-depth=0.04,0.5;seeds=1\" --jobs 1 "
+        "--quiet --out " +
+            dir + "/sweep.json --trace-dir " + traces,
+        dir);
+    ASSERT_EQ(sweep.exit_code, 0) << sweep.err;
+    for (const char *trial :
+         {"/trial_000000.jsonl", "/trial_000001.jsonl"}) {
+        const CliResult check =
+            runCli("report trace " + traces + trial +
+                       " --check --out " + dir + "/report.md",
+                   dir);
+        EXPECT_EQ(check.exit_code, 0) << trial << ": " << check.err;
+    }
 }
 
 #endif // VOLTBOOT_CLI_PATH

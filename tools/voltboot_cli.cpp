@@ -399,6 +399,7 @@ struct SweepOptions
     std::string out_csv;
     bool timing = false;
     bool quiet = false;
+    bool list_axes = false; // print the axis table and exit
     std::string trace_dir; // per-trial JSONL traces, empty = off
     std::string metrics;   // engine metrics snapshot, empty = off
 };
@@ -434,10 +435,12 @@ parseSweep(int argc, char **argv, int first)
             o.trace_dir = value();
         else if (flag == "--metrics")
             o.metrics = value();
+        else if (flag == "--list-axes")
+            o.list_axes = true;
         else
             usageFatal("unknown option ", flag);
     }
-    if (o.grid.empty())
+    if (o.grid.empty() && !o.list_axes)
         usageFatal("sweep requires --grid SPEC (or --grid FILE)");
     return o;
 }
@@ -445,6 +448,10 @@ parseSweep(int argc, char **argv, int first)
 int
 cmdSweep(const SweepOptions &o)
 {
+    if (o.list_axes) {
+        std::cout << SweepGrid::axesHelp();
+        return 0;
+    }
     // --grid takes an inline spec or the name of a spec file.
     std::string spec = o.grid;
     if (std::ifstream file(o.grid); file) {
@@ -488,6 +495,9 @@ cmdSweep(const SweepOptions &o)
         std::cout << "keys: " << s.keys_planted << " planted, "
                   << s.keys_found << " found, " << s.keys_exact
                   << " exact\n";
+    if (s.glitch_trials)
+        std::cout << "glitch: " << s.glitch_trials << " trials, "
+                  << s.glitch_bypassed << " bypassed\n";
 
     if (!o.out_json.empty()) {
         CampaignResult::writeFile(o.out_json, result.toJson(o.timing));
@@ -640,11 +650,15 @@ usage(std::ostream &out)
            "  sweep    --grid SPEC|FILE [--jobs N] [--seed S]\n"
            "           [--out results.json] [--csv results.csv] "
            "[--timing] [--quiet]\n"
-           "           [--trace-dir DIR] [--metrics FILE]\n"
+           "           [--trace-dir DIR] [--metrics FILE] "
+           "[--list-axes]\n"
            "           [--retention-path fast|fast-cached|reference]\n"
            "           grid SPEC example: "
            "\"board=pi4;attack=coldboot;temp=-80,-40;off-ms=5,50;"
            "seeds=8\"\n"
+           "           --list-axes prints every grid axis (key, unit, "
+           "default,\n"
+           "           accepted values) and exits.\n"
            "  report   trace FILE.jsonl [--check] [--out FILE|-]\n"
            "  report   campaign SWEEP.json [--trace-dir DIR]\n"
            "           [--baseline BENCH.json] [--format md|prom] "
