@@ -50,6 +50,14 @@ CampaignResult::summary() const
             ++s.glitch_trials;
             s.glitch_bypassed += r.glitch_bypassed;
         }
+        if (r.spec.attack == AttackKind::StaticExtract) {
+            ++s.static_trials;
+            s.static_frozen += r.se_frozen;
+        }
+        if (r.spec.attack == AttackKind::VoltageCoupling) {
+            ++s.coupling_trials;
+            s.cpa_key_bytes += r.cpa_recovered;
+        }
     }
     return s;
 }
@@ -154,7 +162,15 @@ CampaignResult::toJson(bool include_timing) const
     out += "    \"glitch_trials\": " + std::to_string(s.glitch_trials) +
            ",\n";
     out += "    \"glitch_bypassed\": " +
-           std::to_string(s.glitch_bypassed) + "\n";
+           std::to_string(s.glitch_bypassed) + ",\n";
+    out += "    \"static_trials\": " + std::to_string(s.static_trials) +
+           ",\n";
+    out += "    \"static_frozen\": " + std::to_string(s.static_frozen) +
+           ",\n";
+    out += "    \"coupling_trials\": " +
+           std::to_string(s.coupling_trials) + ",\n";
+    out += "    \"cpa_key_bytes\": " + std::to_string(s.cpa_key_bytes) +
+           "\n";
     out += "  },\n";
     out += "  \"records\": [\n";
     for (size_t i = 0; i < records.size(); ++i) {
@@ -174,6 +190,11 @@ CampaignResult::toJson(bool include_timing) const
                jsonNumber(r.spec.glitch_width_ns);
         out += ", \"glitch_depth_v\": " +
                jsonNumber(r.spec.glitch_depth_v);
+        out += ", \"undervolt_depth_v\": " +
+               jsonNumber(r.spec.undervolt_depth_v);
+        out += ", \"hold_ns\": " + jsonNumber(r.spec.hold_ns);
+        out += ", \"readout_rate\": " + jsonNumber(r.spec.readout_rate);
+        out += ", \"cpa_window_ns\": " + jsonNumber(r.spec.cpa_window_ns);
         out += ", \"chip_seed\": " + std::to_string(r.chip_seed);
         out += ", \"status\": " + jsonString(toString(r.status));
         out += ", \"detail\": " + jsonString(r.detail);
@@ -194,6 +215,12 @@ CampaignResult::toJson(bool include_timing) const
         out += ", \"glitch_effect\": " + jsonString(r.glitch_effect);
         out += ", \"glitch_bypassed\": ";
         out += jsonBool(r.glitch_bypassed);
+        out += ", \"se_frozen\": ";
+        out += jsonBool(r.se_frozen);
+        out += ", \"se_zeroized\": ";
+        out += jsonBool(r.se_zeroized);
+        out += ", \"se_read_fraction\": " + jsonNumber(r.se_read_fraction);
+        out += ", \"cpa_recovered\": " + std::to_string(r.cpa_recovered);
         out += "}";
         out += (i + 1 < records.size()) ? ",\n" : "\n";
     }
@@ -222,10 +249,12 @@ CampaignResult::toCsv() const
     std::string out =
         "index,board,target,attack,temp_c,off_ms,current_a,"
         "impedance_mohm,seed_index,glitch_off_ns,glitch_width_ns,"
-        "glitch_depth_v,chip_seed,status,probe_attached,"
+        "glitch_depth_v,undervolt_depth_v,hold_ns,readout_rate,"
+        "cpa_window_ns,chip_seed,status,probe_attached,"
         "booted,dump_bytes,accuracy,bit_error_rate,key_planted,"
         "key_found,key_exact,glitch_faults,glitch_effect,"
-        "glitch_bypassed,detail\n";
+        "glitch_bypassed,se_frozen,se_zeroized,se_read_fraction,"
+        "cpa_recovered,detail\n";
     for (const TrialRecord &r : records) {
         out += std::to_string(r.spec.index) + ',';
         out += csvEscape(r.spec.board) + ',';
@@ -239,6 +268,10 @@ CampaignResult::toCsv() const
         out += jsonNumber(r.spec.glitch_off_ns) + ',';
         out += jsonNumber(r.spec.glitch_width_ns) + ',';
         out += jsonNumber(r.spec.glitch_depth_v) + ',';
+        out += jsonNumber(r.spec.undervolt_depth_v) + ',';
+        out += jsonNumber(r.spec.hold_ns) + ',';
+        out += jsonNumber(r.spec.readout_rate) + ',';
+        out += jsonNumber(r.spec.cpa_window_ns) + ',';
         out += std::to_string(r.chip_seed) + ',';
         out += std::string(toString(r.status)) + ',';
         out += std::to_string(r.probe_attached) + ',';
@@ -255,6 +288,10 @@ CampaignResult::toCsv() const
         // per trial and round-trips through splitCsvRow().
         out += csvEscape(r.glitch_effect) + ',';
         out += std::to_string(r.glitch_bypassed) + ',';
+        out += std::to_string(r.se_frozen) + ',';
+        out += std::to_string(r.se_zeroized) + ',';
+        out += jsonNumber(r.se_read_fraction) + ',';
+        out += std::to_string(r.cpa_recovered) + ',';
         out += csvEscape(r.detail) + '\n';
     }
     return out;

@@ -77,6 +77,17 @@ struct TrialRecord
     /** Glitch trials: the signature check passed without a valid tag. */
     bool glitch_bypassed = false;
 
+    /** StaticExtract trials: the clock froze below brown-out. */
+    bool se_frozen = false;
+    /** StaticExtract trials: the victim finished its zeroize wipe. */
+    bool se_zeroized = false;
+    /** StaticExtract trials: fraction of the dump the slow readout
+     * path observed inside the hold window. */
+    double se_read_fraction = 0.0;
+    /** VoltageCoupling trials: key bytes whose winning CPA guess
+     * cleared the confidence threshold. */
+    uint64_t cpa_recovered = 0;
+
     /** Wall-clock cost; timing only, never in canonical output. */
     double duration_s = 0.0;
     /** The trial overran CampaignConfig::trial_timeout (timing only). */
@@ -104,6 +115,14 @@ struct CampaignSummary
     /** Glitch trials run / signature checks bypassed. */
     uint64_t glitch_trials = 0;
     uint64_t glitch_bypassed = 0;
+
+    /** Static-extract trials run / clock-freezes achieved. */
+    uint64_t static_trials = 0;
+    uint64_t static_frozen = 0;
+
+    /** Voltage-coupling trials run / confident CPA key bytes summed. */
+    uint64_t coupling_trials = 0;
+    uint64_t cpa_key_bytes = 0;
 };
 
 /** Everything a campaign produced. */

@@ -15,6 +15,8 @@ toString(AttackKind kind)
       case AttackKind::VoltBoot: return "voltboot";
       case AttackKind::ColdBoot: return "coldboot";
       case AttackKind::Glitch: return "glitch";
+      case AttackKind::StaticExtract: return "static-extract";
+      case AttackKind::VoltageCoupling: return "voltage-coupling";
     }
     panic("bad AttackKind");
 }
@@ -42,7 +44,12 @@ attackFromString(const std::string &name)
         return AttackKind::ColdBoot;
     if (name == "glitch")
         return AttackKind::Glitch;
-    fatal("unknown attack '", name, "' (voltboot|coldboot|glitch)");
+    if (name == "static-extract")
+        return AttackKind::StaticExtract;
+    if (name == "voltage-coupling")
+        return AttackKind::VoltageCoupling;
+    fatal("unknown attack '", name,
+          "' (voltboot|coldboot|glitch|static-extract|voltage-coupling)");
 }
 
 TargetRam
@@ -71,7 +78,9 @@ SweepGrid::size() const
            attacks.size() * temps_c.size() * offs_ms.size() *
            currents_a.size() * impedances_mohm.size() *
            glitch_offs_ns.size() * glitch_widths_ns.size() *
-           glitch_depths_v.size() * plant_key.size() * seed_count;
+           glitch_depths_v.size() * undervolt_depths_v.size() *
+           holds_ns.size() * readout_rates.size() *
+           cpa_windows_ns.size() * plant_key.size() * seed_count;
 }
 
 TrialSpec
@@ -91,6 +100,11 @@ SweepGrid::at(uint64_t index) const
     // Fastest-varying axis first (seed innermost, board outermost).
     spec.seed_index = take(static_cast<size_t>(seed_count));
     spec.plant_key = plant_key[take(plant_key.size())];
+    spec.cpa_window_ns = cpa_windows_ns[take(cpa_windows_ns.size())];
+    spec.readout_rate = readout_rates[take(readout_rates.size())];
+    spec.hold_ns = holds_ns[take(holds_ns.size())];
+    spec.undervolt_depth_v =
+        undervolt_depths_v[take(undervolt_depths_v.size())];
     spec.glitch_depth_v = glitch_depths_v[take(glitch_depths_v.size())];
     spec.glitch_width_ns =
         glitch_widths_ns[take(glitch_widths_ns.size())];
@@ -239,6 +253,15 @@ SweepGrid::parse(const std::string &spec)
                 parseDoubleList(value, "glitch-width-ns");
         } else if (key == "glitch-depth") {
             grid.glitch_depths_v = parseDoubleList(value, "glitch-depth");
+        } else if (key == "undervolt-depth") {
+            grid.undervolt_depths_v =
+                parseDoubleList(value, "undervolt-depth");
+        } else if (key == "hold-ns") {
+            grid.holds_ns = parseDoubleList(value, "hold-ns");
+        } else if (key == "readout-rate") {
+            grid.readout_rates = parseDoubleList(value, "readout-rate");
+        } else if (key == "cpa-window-ns") {
+            grid.cpa_windows_ns = parseDoubleList(value, "cpa-window-ns");
         } else if (key == "key") {
             grid.plant_key.clear();
             for (const std::string &k : split(value, ',')) {
@@ -255,7 +278,8 @@ SweepGrid::parse(const std::string &spec)
             fatal("unknown grid key '", key,
                   "' (board|target|attack|temp|off-ms|current|"
                   "impedance-mohm|glitch-off-ns|glitch-width-ns|"
-                  "glitch-depth|key|seeds)");
+                  "glitch-depth|undervolt-depth|hold-ns|readout-rate|"
+                  "cpa-window-ns|key|seeds)");
         }
     }
     if (grid.size() == 0)
@@ -282,6 +306,10 @@ SweepGrid::describe() const
     out += ";glitch-off-ns=" + joinDoubles(glitch_offs_ns);
     out += ";glitch-width-ns=" + joinDoubles(glitch_widths_ns);
     out += ";glitch-depth=" + joinDoubles(glitch_depths_v);
+    out += ";undervolt-depth=" + joinDoubles(undervolt_depths_v);
+    out += ";hold-ns=" + joinDoubles(holds_ns);
+    out += ";readout-rate=" + joinDoubles(readout_rates);
+    out += ";cpa-window-ns=" + joinDoubles(cpa_windows_ns);
     out += ";key=";
     for (size_t i = 0; i < plant_key.size(); ++i)
         out += std::string(i ? "," : "") + (plant_key[i] ? "1" : "0");
@@ -302,7 +330,8 @@ SweepGrid::axesHelp()
     static const AxisDoc axes[] = {
         {"board", "-", "pi4", "pi3|pi4|imx53"},
         {"target", "-", "dcache", "dcache|icache|regs|iram|tlb|btb"},
-        {"attack", "-", "voltboot", "voltboot|coldboot|glitch"},
+        {"attack", "-", "voltboot",
+         "voltboot|coldboot|glitch|static-extract|voltage-coupling"},
         {"temp", "degC", "25", "ambient temperature list"},
         {"off-ms", "ms", "500", "power-off time list"},
         {"current", "A", "3", "probe current-limit list"},
@@ -310,6 +339,10 @@ SweepGrid::axesHelp()
         {"glitch-off-ns", "ns", "0", "pulse offset from victim entry"},
         {"glitch-width-ns", "ns", "0", "pulse width (0 = no pulse)"},
         {"glitch-depth", "V", "0", "droop below nominal (0 = no pulse)"},
+        {"undervolt-depth", "V", "0", "static sag below nominal (0 = no ramp)"},
+        {"hold-ns", "ns", "0", "undervolt hold time at the floor"},
+        {"readout-rate", "B/us", "0", "frozen readout bandwidth (0 = unlimited)"},
+        {"cpa-window-ns", "ns", "0", "CPA correlation window (0 = full block)"},
         {"key", "0|1", "0", "plant + scan an AES-128 schedule"},
         {"seeds", "count", "1", "chip-seed replication axis"},
     };
@@ -328,7 +361,9 @@ SweepGrid::axesHelp()
     out += "\nEnumeration order: the board axis varies slowest, the "
            "chip-seed index\nfastest; axes in between follow the order "
            "above from bottom to top.\nGlitch axes apply to "
-           "attack=glitch trials only.\n";
+           "attack=glitch trials only; undervolt-depth, hold-ns\nand "
+           "readout-rate to attack=static-extract; cpa-window-ns to\n"
+           "attack=voltage-coupling.\n";
     return out;
 }
 

@@ -27,9 +27,11 @@ namespace voltboot
 /** Which attack an individual trial mounts. */
 enum class AttackKind
 {
-    VoltBoot, ///< Probe the SRAM domain, power-cycle, extract.
-    ColdBoot, ///< No probe: chill, power-cycle, extract (Section 3).
-    Glitch,   ///< Crowbar the core rail mid-signature-check.
+    VoltBoot,        ///< Probe the SRAM domain, power-cycle, extract.
+    ColdBoot,        ///< No probe: chill, power-cycle, extract (Section 3).
+    Glitch,          ///< Crowbar the core rail mid-signature-check.
+    StaticExtract,   ///< Undervolt below brown-out, freeze, read out.
+    VoltageCoupling, ///< CPA on rail dips coupled from AES activity.
 };
 
 /** Which memory the trial extracts and scores. */
@@ -66,6 +68,14 @@ struct TrialSpec
     double glitch_off_ns = 0.0;   ///< Offset from victim entry.
     double glitch_width_ns = 0.0; ///< Pulse duration.
     double glitch_depth_v = 0.0;  ///< Excursion below nominal.
+
+    /** Static-undervolt knobs (StaticExtract trials; 0 = no ramp). */
+    double undervolt_depth_v = 0.0; ///< Static sag below nominal.
+    double hold_ns = 0.0;           ///< Hold time at the floor.
+    double readout_rate = 0.0;      ///< Frozen readout B/us (0 = inf).
+
+    /** CPA knob (VoltageCoupling trials; 0 = full block window). */
+    double cpa_window_ns = 0.0;
 };
 
 /**
@@ -98,6 +108,14 @@ class SweepGrid
     std::vector<double> glitch_widths_ns{0.0};
     std::vector<double> glitch_depths_v{0.0};
 
+    /** Static-undervolt and CPA axes; single-element defaults keep
+     * existing grids' trial indices untouched. Vary faster than the
+     * glitch axes and slower than the key axis. */
+    std::vector<double> undervolt_depths_v{0.0};
+    std::vector<double> holds_ns{0.0};
+    std::vector<double> readout_rates{0.0};
+    std::vector<double> cpa_windows_ns{0.0};
+
     /** Number of trials in the grid (product of axis sizes). */
     uint64_t size() const;
 
@@ -109,7 +127,8 @@ class SweepGrid
      * comments allowed). Unknown keys, empty value lists and malformed
      * numbers are fatal(). Keys: board, target, attack, temp, off-ms,
      * current, impedance-mohm, glitch-off-ns, glitch-width-ns,
-     * glitch-depth, key, seeds.
+     * glitch-depth, undervolt-depth, hold-ns, readout-rate,
+     * cpa-window-ns, key, seeds.
      */
     static SweepGrid parse(const std::string &spec);
 

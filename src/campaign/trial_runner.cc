@@ -7,10 +7,14 @@
 #include "crypto/onchip_crypto.hh"
 #include "os/baremetal.hh"
 #include "os/workloads.hh"
+#include "report/trace_reader.hh"
+#include "sidechannel/coupling.hh"
+#include "sidechannel/static_extract.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "soc/soc.hh"
 #include "sram/memory_image.hh"
+#include "trace/trace.hh"
 
 namespace voltboot
 {
@@ -164,6 +168,61 @@ runTrial(const TrialSpec &spec, uint64_t campaign_seed)
     rec.chip_seed = deriveChipSeed(campaign_seed, spec.seed_index);
     Rng rng(deriveTrialSeed(campaign_seed, spec.index));
 
+    if (spec.attack == AttackKind::VoltageCoupling) {
+        // Pure trace analysis: the victim's rail capture and the CPA
+        // ranking never need a Soc, only the board's core-rail spec.
+        const SocConfig ccfg = socConfigFor(spec.board);
+        sidechannel::CouplingVictimConfig vcfg;
+        vcfg.domain = ccfg.core_domain.name;
+        vcfg.nominal = ccfg.core_domain.nominal;
+        // Domain-separated streams: the key is chip identity (stable
+        // across trial indices for one seed_index), the noise is
+        // per-trial.
+        vcfg.seed = hashCombine(deriveTrialSeed(campaign_seed,
+                                                spec.index),
+                                0xc0abULL);
+        const uint64_t kseed = hashCombine(rec.chip_seed, 0x5ecaULL);
+        for (size_t i = 0; i < 16; ++i)
+            vcfg.key[i] = static_cast<uint8_t>(hashCombine(kseed, i));
+
+        trace::MemoryTraceSink sink;
+        {
+            trace::Scope capture(sink);
+            sidechannel::runCoupledAesVictim(vcfg);
+        }
+        // The attacker only ever sees the wire format: round-trip the
+        // capture through JSONL and the report reader before analysis.
+        const std::vector<trace::TraceEvent> events = report::readTrace(
+            trace::toJsonl(sink.events()), "coupling-capture");
+        sidechannel::CpaOptions opts;
+        opts.domain = vcfg.domain;
+        opts.window_ns = spec.cpa_window_ns;
+        const sidechannel::CpaResult cpa =
+            sidechannel::analyzeCoupling(events, opts);
+
+        const unsigned correct =
+            sidechannel::countCorrectBytes(cpa, vcfg.key);
+        rec.cpa_recovered = cpa.recovered;
+        rec.accuracy = static_cast<double>(correct) / 16.0;
+        rec.bit_error_rate = 1.0 - rec.accuracy;
+        rec.key_planted = true;
+        rec.key_found = cpa.recovered > 0;
+        rec.key_exact = correct == 16;
+        rec.status = TrialStatus::Ok;
+
+        // Replay the capture into the per-trial trace, if one is on.
+        if (trace::enabled()) {
+            Seconds last = trace::simTime();
+            for (const trace::TraceEvent &ev : sink.events()) {
+                if (ev.ts.seconds() > last.seconds())
+                    last = ev.ts;
+                trace::emit(ev);
+            }
+            trace::setSimTime(last);
+        }
+        return rec;
+    }
+
     SocConfig cfg = socConfigFor(spec.board);
     cfg.chip_seed = rec.chip_seed;
     Soc soc(cfg);
@@ -199,6 +258,39 @@ runTrial(const TrialSpec &spec, uint64_t campaign_seed)
     }
 
     const Victim victim = stageVictim(soc, spec, rng);
+
+    if (spec.attack == AttackKind::StaticExtract) {
+        // No probe, no power cycle: the rail sags in place, the clock
+        // freezes, and the frozen arrays are read out slowly.
+        sidechannel::StaticExtractConfig secfg;
+        switch (spec.target) {
+          case TargetRam::DCache:
+            secfg.target = sidechannel::ExtractTarget::DCache;
+            break;
+          case TargetRam::Regs:
+            secfg.target = sidechannel::ExtractTarget::Regs;
+            break;
+          case TargetRam::Iram:
+            secfg.target = sidechannel::ExtractTarget::Iram;
+            break;
+          default:
+            fatal("static-extract supports dcache|regs|iram, not ",
+                  toString(spec.target));
+        }
+        secfg.depth = Volt(spec.undervolt_depth_v);
+        secfg.hold = Seconds::nanoseconds(spec.hold_ns);
+        secfg.readout_rate = spec.readout_rate;
+        secfg.seed = hashCombine(deriveTrialSeed(campaign_seed,
+                                                 spec.index),
+                                 0x5eecULL);
+        sidechannel::StaticExtractAttack attack(soc, secfg);
+        const sidechannel::StaticExtractOutcome out = attack.execute();
+        rec.se_frozen = out.frozen;
+        rec.se_zeroized = out.zeroized;
+        rec.se_read_fraction = out.read_fraction;
+        score(rec, out.dump, victim);
+        return rec;
+    }
 
     if (spec.attack == AttackKind::VoltBoot) {
         AttackConfig acfg;

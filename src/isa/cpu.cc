@@ -100,6 +100,7 @@ Cpu::reset(uint64_t entry_pc)
     el_ = 3;
     dsb_done_ = isb_done_ = false;
     retired_ = 0;
+    frozen_ = false;
 }
 
 void
@@ -145,6 +146,13 @@ Cpu::step()
 {
     if (halted_)
         return false;
+    if (gate_ && !gate_->clockRunning(retired_)) {
+        // No clock edge: the boundary never happens. State is untouched
+        // and the core resumes from here once the gate reopens.
+        frozen_ = true;
+        return false;
+    }
+    frozen_ = false;
     uint32_t insn = port_.fetch32(pc_);
     if (injector_) {
         const FaultAction a = injector_->onInstruction(pc_, insn, retired_);

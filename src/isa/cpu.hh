@@ -81,6 +81,28 @@ class FaultInjector
                                       uint64_t retired) = 0;
 };
 
+/**
+ * Consulted by the core *before* each fetch. Returning false freezes the
+ * core for that boundary: step() makes no architectural progress and
+ * reports false, but the core is NOT halted — clearing the gate (or the
+ * gate later returning true) lets execution resume exactly where it
+ * stopped. This models the Chypnosis-style brown-out clock freeze: the
+ * supply has sagged below the level the clock tree needs, so no edges
+ * arrive, but SRAM/register state is still governed by the retention
+ * model, not by instruction semantics.
+ *
+ * Like FaultInjector, implementations must be deterministic functions
+ * of their own state and the retired-instruction count so campaign
+ * replays are byte-identical at any worker count.
+ */
+class ClockGate
+{
+  public:
+    virtual ~ClockGate() = default;
+    /** @return true if the clock is running at this boundary. */
+    virtual bool clockRunning(uint64_t retired) = 0;
+};
+
 /** Abstract memory/system interface the core executes against. */
 class MemoryPort
 {
@@ -179,6 +201,14 @@ class Cpu
         injector_ = injector;
     }
 
+    /** Install (or clear, with nullptr) the clock gate consulted before
+     * each fetch. A gated core is frozen, not halted. Not owned. */
+    void setClockGate(ClockGate *gate) { gate_ = gate; }
+
+    /** True if the last step() returned false because the clock gate
+     * froze the core (as opposed to a halt/fault). */
+    bool frozen() const { return frozen_; }
+
     /** Run at most @p max_steps instructions; returns steps executed. */
     uint64_t run(uint64_t max_steps);
 
@@ -201,6 +231,8 @@ class Cpu
     CpuFault fault_ = CpuFault::None;
     uint64_t retired_ = 0;
     FaultInjector *injector_ = nullptr;
+    ClockGate *gate_ = nullptr;
+    bool frozen_ = false;
 
     // RAMINDEX requires DSB;ISB since the last memory operation
     // (Section 6.1's synchronisation-barrier requirement).

@@ -180,6 +180,22 @@ parseSweepJson(std::string_view text, const std::string &source)
             rec.glitch_effect = str(r, "glitch_effect", source);
         if (r.find("glitch_bypassed"))
             rec.glitch_bypassed = boolean(r, "glitch_bypassed", source);
+        if (r.find("undervolt_depth_v"))
+            rec.undervolt_depth_v = num(r, "undervolt_depth_v", source);
+        if (r.find("hold_ns"))
+            rec.hold_ns = num(r, "hold_ns", source);
+        if (r.find("readout_rate"))
+            rec.readout_rate = num(r, "readout_rate", source);
+        if (r.find("cpa_window_ns"))
+            rec.cpa_window_ns = num(r, "cpa_window_ns", source);
+        if (r.find("se_frozen"))
+            rec.se_frozen = boolean(r, "se_frozen", source);
+        if (r.find("se_zeroized"))
+            rec.se_zeroized = boolean(r, "se_zeroized", source);
+        if (r.find("se_read_fraction"))
+            rec.se_read_fraction = num(r, "se_read_fraction", source);
+        if (r.find("cpa_recovered"))
+            rec.cpa_recovered = uns(r, "cpa_recovered", source);
         sweep.records.push_back(std::move(rec));
     }
 

@@ -59,6 +59,17 @@ struct SweepRecord
     uint64_t glitch_faults = 0;
     std::string glitch_effect;
     bool glitch_bypassed = false;
+
+    /** Sidechannel axes and outcome; default-zero when reading sweeps
+     * written before the static-extract/coupling attacks existed. */
+    double undervolt_depth_v = 0.0;
+    double hold_ns = 0.0;
+    double readout_rate = 0.0;
+    double cpa_window_ns = 0.0;
+    bool se_frozen = false;
+    bool se_zeroized = false;
+    double se_read_fraction = 0.0;
+    uint64_t cpa_recovered = 0;
 };
 
 /** A whole sweep document. */

@@ -328,6 +328,93 @@ checkGlitchBounds(std::span<const trace::TraceEvent> events,
     }
 }
 
+/**
+ * The static-undervolt and coupling-capture spans make the same
+ * bounded-excursion promise as glitch.pulse, with the floor named
+ * differently: "undervolt.hold" sags by depth_v below nominal,
+ * "coupling.capture" bounds its worst per-byte dip as dip_bound_v.
+ * Samples covered by either span must stay within [floor, nominal]
+ * and the last one must be back at nominal.
+ */
+void
+checkSidechannelBounds(std::span<const trace::TraceEvent> events,
+                       std::vector<Violation> &out)
+{
+    for (size_t i = 0; i < events.size(); ++i) {
+        const trace::TraceEvent &ev = events[i];
+        if (ev.phase != trace::Phase::Complete ||
+            std::string(ev.category) != "power")
+            continue;
+        const bool hold = ev.name == "undervolt.hold";
+        const bool capture = ev.name == "coupling.capture";
+        if (!hold && !capture)
+            continue;
+        const char *depth_key = hold ? "depth_v" : "dip_bound_v";
+        const std::string domain = argString(ev, "domain");
+        const auto nominal = argNumber(ev, "nominal_v");
+        const auto depth = argNumber(ev, depth_key);
+        if (domain.empty() || !nominal || !depth) {
+            out.push_back({"sidechannel_bounds", i,
+                           ev.name + " span lacks domain/nominal_v/" +
+                               depth_key + " args"});
+            continue;
+        }
+        const double start = ev.ts.seconds();
+        const double end = start + ev.dur.seconds();
+        const double floor =
+            std::max(*nominal - *depth, 0.0) - kEps;
+        const std::string counter =
+            std::string(kVoltagePrefix) + domain;
+        size_t samples = 0;
+        std::optional<double> last_v;
+        // Both spans are emitted after their samples (children first),
+        // so every sample they cover precedes them in the stream.
+        for (size_t j = 0; j < i; ++j) {
+            const trace::TraceEvent &s = events[j];
+            if (s.phase != trace::Phase::Counter || s.name != counter)
+                continue;
+            const double at = s.ts.seconds();
+            if (at < start - kEps || at > end + kEps)
+                continue;
+            const auto v = argNumber(s, "v");
+            if (!v)
+                continue;
+            ++samples;
+            last_v = *v;
+            if (*v < floor)
+                out.push_back(
+                    {"sidechannel_bounds", j,
+                     "voltage." + domain + " sampled at " +
+                         std::to_string(*v) + " V inside a " + ev.name +
+                         " span bounded at " +
+                         std::to_string(std::max(*nominal - *depth,
+                                                 0.0)) +
+                         " V"});
+            if (*v > *nominal + kEps)
+                out.push_back(
+                    {"sidechannel_bounds", j,
+                     "voltage." + domain + " sampled at " +
+                         std::to_string(*v) +
+                         " V, above nominal " +
+                         std::to_string(*nominal) + " V inside a " +
+                         ev.name + " span"});
+        }
+        if (samples == 0) {
+            out.push_back({"sidechannel_bounds", i,
+                           ev.name + " span on " + domain +
+                               " covers no voltage samples"});
+            continue;
+        }
+        if (last_v && std::abs(*last_v - *nominal) > kEps)
+            out.push_back(
+                {"sidechannel_bounds", i,
+                 "voltage." + domain + " ends a " + ev.name +
+                     " span at " + std::to_string(*last_v) +
+                     " V instead of recovering to nominal " +
+                     std::to_string(*nominal) + " V"});
+    }
+}
+
 } // namespace
 
 std::vector<Violation>
@@ -340,6 +427,7 @@ checkTraceInvariants(std::span<const trace::TraceEvent> events)
     checkProbeHold(events, out);
     checkAttackStepOrder(events, out);
     checkGlitchBounds(events, out);
+    checkSidechannelBounds(events, out);
     return out;
 }
 

@@ -36,6 +36,13 @@
  *    least one `voltage.<domain>` sample, all covered samples stay
  *    within `[nominal - depth, nominal]`, and the last covered sample
  *    has recovered to nominal before the span ends.
+ *  - `sidechannel_bounds` — same bounded-excursion contract for the
+ *    static-undervolt and coupling-capture spans: every
+ *    `power`/`undervolt.hold` span (floor `nominal - depth_v`) and
+ *    `power`/`coupling.capture` span (floor `nominal - dip_bound_v`)
+ *    covers at least one `voltage.<domain>` sample, all covered
+ *    samples stay within `[floor, nominal]`, and the last covered
+ *    sample has recovered to nominal.
  */
 
 #ifndef VOLTBOOT_REPORT_INVARIANTS_HH

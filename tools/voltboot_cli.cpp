@@ -10,6 +10,8 @@
  *   retention [--tech sram|dram]      survival surface
  *   sweep    [options]                parallel attack-sweep campaign
  *   report   trace|campaign FILE      analyse traces / sweep results
+ *                                     (trace: --cpa runs the coupling
+ *                                     key-recovery analyzer)
  *
  * Common options:
  *   --board pi3|pi4|imx53     target platform        (default pi4)
@@ -27,6 +29,8 @@
  *
  * Sweep options:
  *   --grid SPEC|FILE          sweep grid (see docs/CAMPAIGN.md)
+ *   --attack NAME             override the grid's attack axis; without
+ *                             --grid, sweeps the default grid
  *   --jobs N                  worker threads         (default: all cores)
  *   --seed S                  campaign seed          (default 0x5eed)
  *   --out FILE                write results as JSON
@@ -55,6 +59,7 @@
 
 #include "campaign/campaign.hh"
 #include "report/campaign_json.hh"
+#include "sidechannel/coupling.hh"
 #include "report/invariants.hh"
 #include "report/prometheus.hh"
 #include "report/report.hh"
@@ -393,7 +398,8 @@ cmdRetention(const std::string &tech)
 struct SweepOptions
 {
     std::string grid;
-    unsigned jobs = 0; // 0 = hardware concurrency
+    std::string attack; // override / sole attack, empty = per-grid
+    unsigned jobs = 0;  // 0 = hardware concurrency
     uint64_t seed = 0x5eed;
     std::string out_json;
     std::string out_csv;
@@ -417,6 +423,8 @@ parseSweep(int argc, char **argv, int first)
         };
         if (flag == "--grid")
             o.grid = value();
+        else if (flag == "--attack")
+            o.attack = value();
         else if (flag == "--jobs")
             o.jobs = static_cast<unsigned>(parseUint(flag, value()));
         else if (flag == "--seed")
@@ -440,8 +448,9 @@ parseSweep(int argc, char **argv, int first)
         else
             usageFatal("unknown option ", flag);
     }
-    if (o.grid.empty() && !o.list_axes)
-        usageFatal("sweep requires --grid SPEC (or --grid FILE)");
+    if (o.grid.empty() && o.attack.empty() && !o.list_axes)
+        usageFatal("sweep requires --grid SPEC (or --grid FILE, or "
+                   "--attack NAME for the default grid)");
     return o;
 }
 
@@ -452,14 +461,20 @@ cmdSweep(const SweepOptions &o)
         std::cout << SweepGrid::axesHelp();
         return 0;
     }
-    // --grid takes an inline spec or the name of a spec file.
-    std::string spec = o.grid;
-    if (std::ifstream file(o.grid); file) {
-        std::ostringstream content;
-        content << file.rdbuf();
-        spec = content.str();
+    // --grid takes an inline spec or the name of a spec file; with
+    // --attack alone the default grid is used.
+    SweepGrid grid;
+    if (!o.grid.empty()) {
+        std::string spec = o.grid;
+        if (std::ifstream file(o.grid); file) {
+            std::ostringstream content;
+            content << file.rdbuf();
+            spec = content.str();
+        }
+        grid = SweepGrid::parse(spec);
     }
-    SweepGrid grid = SweepGrid::parse(spec);
+    if (!o.attack.empty())
+        grid.attacks = {attackFromString(o.attack)};
 
     CampaignConfig cfg;
     cfg.jobs = o.jobs;
@@ -498,6 +513,12 @@ cmdSweep(const SweepOptions &o)
     if (s.glitch_trials)
         std::cout << "glitch: " << s.glitch_trials << " trials, "
                   << s.glitch_bypassed << " bypassed\n";
+    if (s.static_trials)
+        std::cout << "static-extract: " << s.static_trials
+                  << " trials, " << s.static_frozen << " frozen\n";
+    if (s.coupling_trials)
+        std::cout << "coupling: " << s.coupling_trials << " trials, "
+                  << s.cpa_key_bytes << " CPA key bytes recovered\n";
 
     if (!o.out_json.empty()) {
         CampaignResult::writeFile(o.out_json, result.toJson(o.timing));
@@ -524,6 +545,8 @@ struct ReportOptions
     std::string baseline;  // campaign only
     std::string format = "md"; // md | prom (campaign only)
     bool check = false;
+    bool cpa = false; // trace only: run the CPA key-recovery analyzer
+    double cpa_window_ns = 0.0; // 0 = correlate over the full block
     double regress_threshold = 0.5;
 };
 
@@ -549,6 +572,10 @@ parseReport(int argc, char **argv, int first)
             o.format = value();
         else if (flag == "--check")
             o.check = true;
+        else if (flag == "--cpa")
+            o.cpa = true;
+        else if (flag == "--cpa-window-ns")
+            o.cpa_window_ns = parseDouble(flag, value());
         else if (flag == "--regress-threshold")
             o.regress_threshold = parseDouble(flag, value());
         else if (!flag.empty() && flag[0] == '-' && flag != "-")
@@ -576,6 +603,9 @@ parseReport(int argc, char **argv, int first)
         if (o.format == "prom")
             usageFatal("--format prom is only valid for report "
                        "campaign");
+    } else if (o.cpa || o.cpa_window_ns != 0.0) {
+        usageFatal("--cpa/--cpa-window-ns are only valid for report "
+                   "trace");
     }
     return o;
 }
@@ -586,6 +616,26 @@ cmdReport(const ReportOptions &o)
     if (o.mode == "trace") {
         const std::vector<trace::TraceEvent> events =
             report::readTraceFile(o.input);
+        if (o.cpa) {
+            sidechannel::CpaOptions copts;
+            copts.window_ns = o.cpa_window_ns;
+            const sidechannel::CpaResult cpa =
+                sidechannel::analyzeCoupling(events, copts);
+            writeOutput(o.out, sidechannel::renderCpaMarkdown(cpa));
+            if (o.check) {
+                const auto violations =
+                    report::checkTraceInvariants(events);
+                if (!violations.empty()) {
+                    std::cerr << "trace invariant check FAILED:\n"
+                              << report::renderViolations(violations);
+                    return 1;
+                }
+            }
+            // No AES blocks in the trace means the analyzer was
+            // pointed at the wrong capture, which deserves a non-zero
+            // exit even though the markdown explains it.
+            return cpa.blocks == 0 ? 1 : 0;
+        }
         const report::TraceReport rep =
             report::buildTraceReport(events, o.input, o.check);
         writeOutput(o.out, rep.markdown);
@@ -647,7 +697,8 @@ usage(std::ostream &out)
            "  coldboot --board ... --temp C --off-ms MS [--trace ...]\n"
            "  survey   [--board ...]\n"
            "  retention [--target sram|dram]\n"
-           "  sweep    --grid SPEC|FILE [--jobs N] [--seed S]\n"
+           "  sweep    --grid SPEC|FILE [--attack NAME] [--jobs N] "
+           "[--seed S]\n"
            "           [--out results.json] [--csv results.csv] "
            "[--timing] [--quiet]\n"
            "           [--trace-dir DIR] [--metrics FILE] "
@@ -656,10 +707,18 @@ usage(std::ostream &out)
            "           grid SPEC example: "
            "\"board=pi4;attack=coldboot;temp=-80,-40;off-ms=5,50;"
            "seeds=8\"\n"
+           "           --attack overrides the grid's attack axis "
+           "(voltboot,\n"
+           "           coldboot, glitch, static-extract, "
+           "voltage-coupling) and\n"
+           "           may be used without --grid for the default "
+           "grid.\n"
            "           --list-axes prints every grid axis (key, unit, "
            "default,\n"
            "           accepted values) and exits.\n"
-           "  report   trace FILE.jsonl [--check] [--out FILE|-]\n"
+           "  report   trace FILE.jsonl [--check] [--cpa] "
+           "[--cpa-window-ns N]\n"
+           "           [--out FILE|-]\n"
            "  report   campaign SWEEP.json [--trace-dir DIR]\n"
            "           [--baseline BENCH.json] [--format md|prom] "
            "[--check]\n"
