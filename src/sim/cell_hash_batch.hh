@@ -1,6 +1,7 @@
 /**
  * @file
- * Batched per-cell hashing for the retention fast kernels.
+ * Batched per-cell hashing and mask derivation for the retention fast
+ * kernels.
  *
  * The threshold kernels in src/sram/ spend their time deriving
  * CellRng::bits(cell, channel) for runs of consecutive cells. The
@@ -9,8 +10,17 @@
  * (vpmullq: eight 64-bit multiplies per instruction) the batched path
  * computes eight chains at once. Lane arithmetic is identical mod 2^64
  * to the scalar path, so results are bit-exact with CellRng::bits —
- * hosts without the extension (or non-x86 builds) take the scalar loop
- * and produce the same values.
+ * hosts without the extension (or builds configured with
+ * -DVOLTBOOT_DISABLE_AVX512=ON) take the scalar loop and produce the
+ * same values.
+ *
+ * Beyond raw hash batches, this header derives the *word masks* the
+ * bit-sliced SoA plane kernels consume directly: one call classifies up
+ * to 64 cells against a ThresholdBand (or extracts 64 power-up bits)
+ * into a single uint64_t, with no per-cell scatter loop on the caller's
+ * side. On AVX-512 the compare itself happens in the vector domain
+ * (compare-to-mask), so a 64-cell word costs eight compare
+ * instructions.
  */
 
 #ifndef VOLTBOOT_SIM_CELL_HASH_BATCH_HH
@@ -29,6 +39,52 @@ namespace voltboot
  */
 void cellBitsBatch(const CellRng &rng, uint64_t cell0, uint64_t channel,
                    unsigned n, uint64_t *out);
+
+/**
+ * Gathered variant: out[i] = rng.bits(keys[i], channel) for arbitrary
+ * (non-consecutive) key values — used for metastable re-roll draws,
+ * whose per-cell key is hashCombine(cell, nonce).
+ */
+void cellBitsBatchIndexed(const CellRng &rng, const uint64_t *keys,
+                          uint64_t channel, unsigned n, uint64_t *out);
+
+/**
+ * Word-parallel threshold classification for n <= 64 consecutive
+ * cells: returns a mask whose bit i is set iff
+ * rng.rawUniform(cell0 + i, channel) >= band_lo. *in_band gets the
+ * mask of cells whose raw value lands inside [band_lo, band_hi) —
+ * the guard band the caller must resolve with the exact scalar
+ * predicate. Bits at or above n are zero in both masks.
+ */
+uint64_t cellBandMaskBatch(const CellRng &rng, uint64_t cell0,
+                           uint64_t channel, unsigned n,
+                           uint64_t band_lo, uint64_t band_hi,
+                           uint64_t *in_band);
+
+/**
+ * Same classification over a precomputed *bucket* plane (the
+ * FastCached per-array caches): buckets[i] holds the top 32 bits of
+ * the cell's 53-bit raw uniform (raw >> 21), halving the memory
+ * stream the compare has to pull — which is what bounds throughput at
+ * DRAM-scale planes. Truncation only coarsens the guard band: lanes
+ * whose bucket falls in [band_lo >> 21, band_hi >> 21] land in
+ * *in_band (a superset of the exact [band_lo, band_hi) membership,
+ * wider by at most one bucket = 2^21 raws per edge) and must be
+ * resolved by the caller's exact scalar predicate; the returned mask
+ * sets exactly the other lanes whose raw is provably >= band_lo.
+ * Bits at or above n are zero in both masks.
+ */
+uint64_t rawBucketBandMask(const uint32_t *buckets, unsigned n,
+                           uint64_t band_lo, uint64_t band_hi,
+                           uint64_t *in_band);
+
+/**
+ * Power-up-bit extraction for n <= 64 consecutive cells: bit i of the
+ * result is rng.bits(cell0 + i, channel) & 1. This is the fingerprint
+ * plane derivation reduced to one mask op per 8 cells.
+ */
+uint64_t cellLsbMaskBatch(const CellRng &rng, uint64_t cell0,
+                          uint64_t channel, unsigned n);
 
 /** True when the wide-lane path is compiled in and the CPU supports
  * it (diagnostics/benchmarks; callers never need to check). */

@@ -1,0 +1,57 @@
+#include "sim/plane_arena.hh"
+
+namespace voltboot
+{
+
+PlaneArena::Block &
+PlaneArena::growBlock(size_t at_least_words)
+{
+    const size_t capacity = std::max(at_least_words, kMinBlockWords);
+    Block block;
+    block.words.reset(static_cast<uint64_t *>(::operator new[](
+        capacity * sizeof(uint64_t), std::align_val_t{64})));
+    block.capacity = capacity;
+    blocks_.push_back(std::move(block));
+    return blocks_.back();
+}
+
+void
+PlaneArena::reserve(size_t nwords)
+{
+    if (!blocks_.empty() &&
+        blocks_.back().capacity - blocks_.back().used >= nwords)
+        return;
+    growBlock(nwords);
+}
+
+uint64_t *
+PlaneArena::allocWords(size_t nwords)
+{
+    const size_t span_words = alignWords(nwords);
+    Block *block = blocks_.empty() ? nullptr : &blocks_.back();
+    if (!block || block->capacity - block->used < span_words)
+        block = &growBlock(span_words);
+    uint64_t *span = block->words.get() + block->used;
+    block->used += span_words;
+    used_words_ += span_words;
+    std::memset(span, 0, span_words * sizeof(uint64_t));
+    return span;
+}
+
+size_t
+PlaneArena::bytesReserved() const
+{
+    size_t words = 0;
+    for (const Block &b : blocks_)
+        words += b.capacity;
+    return words * sizeof(uint64_t);
+}
+
+void
+PlaneArena::releaseAll()
+{
+    blocks_.clear();
+    used_words_ = 0;
+}
+
+} // namespace voltboot

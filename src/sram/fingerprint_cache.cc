@@ -1,5 +1,6 @@
 #include "sram/fingerprint_cache.hh"
 
+#include <cstdlib>
 #include <list>
 #include <mutex>
 #include <unordered_map>
@@ -9,25 +10,30 @@
 namespace voltboot
 {
 
-size_t
-FingerprintPlanes::footprint() const
-{
-    return fingerprint.capacity() + metastable_mask.capacity() +
-           meta_rank.capacity() * sizeof(uint32_t) +
-           meta_theta_raw.capacity() * sizeof(uint64_t) +
-           initial_bytes.capacity();
-}
-
 namespace
 {
 
 /**
- * Byte budget for cached planes. A bcm2711-class die's planes are a few
- * tens of MB; this holds roughly a dozen dies — comfortably the reuse
- * window of a sweep grid, where the same seed recurs once per slower
- * grid axis value — while bounding memory on seed-heavy campaigns.
+ * Default byte budget for cached planes: holds roughly a dozen
+ * bcm2711-class dies — comfortably the reuse window of a sweep grid,
+ * where the same seed recurs once per slower grid axis value — while
+ * bounding memory on seed-heavy campaigns.
  */
-constexpr size_t kCacheMaxBytes = size_t{512} << 20;
+constexpr size_t kDefaultCacheBytes = size_t{512} << 20;
+
+/** VOLTBOOT_FINGERPRINT_CACHE_MB, or the default on unset/garbage. */
+size_t
+initialCapacityBytes()
+{
+    const char *env = std::getenv("VOLTBOOT_FINGERPRINT_CACHE_MB");
+    if (!env || !*env)
+        return kDefaultCacheBytes;
+    char *end = nullptr;
+    const unsigned long long mb = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0')
+        return kDefaultCacheBytes;
+    return static_cast<size_t>(mb) << 20;
+}
 
 struct KeyHash
 {
@@ -59,6 +65,7 @@ struct Cache
     std::unordered_map<FingerprintKey, decltype(lru)::iterator, KeyHash>
         index;
     size_t bytes = 0;
+    size_t capacity = initialCapacityBytes();
     FingerprintCacheStats stats;
 };
 
@@ -72,7 +79,7 @@ cache()
 void
 evictOverBudgetLocked(Cache &c)
 {
-    while (c.bytes > kCacheMaxBytes && !c.lru.empty()) {
+    while (c.bytes > c.capacity && !c.lru.empty()) {
         auto &victim = c.lru.back();
         c.bytes -= victim.second->footprint();
         c.index.erase(victim.first);
@@ -103,6 +110,12 @@ acquireFingerprintPlanes(const FingerprintKey &key,
     std::lock_guard<std::mutex> lock(c.mutex);
     if (auto it = c.index.find(key); it != c.index.end())
         return it->second->second; // lost the race; share the winner's
+    if (planes->footprint() > c.capacity) {
+        // Bigger than the whole budget: inserting it would evict every
+        // other entry and still get evicted itself — serve it uncached.
+        ++c.stats.oversize;
+        return planes;
+    }
     c.lru.emplace_front(key, planes);
     c.index.emplace(key, c.lru.begin());
     c.bytes += planes->footprint();
@@ -118,7 +131,17 @@ fingerprintCacheStats()
     FingerprintCacheStats s = c.stats;
     s.entries = c.index.size();
     s.bytes = c.bytes;
+    s.capacity = c.capacity;
     return s;
+}
+
+void
+setFingerprintCacheCapacity(size_t bytes)
+{
+    Cache &c = cache();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.capacity = bytes;
+    evictOverBudgetLocked(c);
 }
 
 void

@@ -3,8 +3,7 @@
  * Process-wide cache of per-array power-up planes.
  *
  * Everything a MemoryArray derives at first power-up — the stable
- * power-up fingerprint, the metastable mask, the rank index and integer
- * draw thresholds behind metastable re-rolls, and the fully resolved
+ * power-up fingerprint, the metastable mask, and the fully resolved
  * first-power-on contents — is a pure function of the die identity
  * (chip seed, array id, array size, metastable calibration). Campaign
  * trials construct a fresh Soc per trial, and sweep grids deliberately
@@ -12,9 +11,22 @@
  * re-hashes tens of millions of cells to rebuild planes an earlier
  * trial already derived. This cache shares them: keyed by the exact
  * inputs of the derivation, immutable once built, LRU-evicted under a
- * byte cap, and safe to share across campaign worker threads (values
- * are deterministic, so a cache hit can never change simulation
- * output).
+ * configurable byte budget, and safe to share across campaign worker
+ * threads (values are deterministic, so a cache hit can never change
+ * simulation output).
+ *
+ * The budget is bytes, not entries: one DRAM-scale plane triple can
+ * weigh hundreds of MB, so counting entries would let a single huge
+ * die blow memory while dozens of small dies barely register. It
+ * defaults to 512 MB and is settable via the
+ * VOLTBOOT_FINGERPRINT_CACHE_MB environment variable (read once at
+ * first use; 0 disables caching entirely) or
+ * setFingerprintCacheCapacity() (tests/embedders, takes effect
+ * immediately). Entries whose own footprint exceeds the budget are
+ * handed to the caller but never inserted — a plane bigger than the
+ * whole cache would otherwise evict everything else and then be
+ * evicted itself on the next insert, thrashing the cache without ever
+ * producing a hit.
  */
 
 #ifndef VOLTBOOT_SRAM_FINGERPRINT_CACHE_HH
@@ -25,27 +37,50 @@
 #include <memory>
 #include <vector>
 
+#include "sim/plane_arena.hh"
+
 namespace voltboot
 {
 
-/** Immutable per-die power-up planes (see MemoryArray). */
+/**
+ * Immutable per-die power-up planes (see MemoryArray): bit-packed
+ * word planes carved out of one embedded arena, so the whole structure
+ * moves as a unit and its footprint is one number. The BitPlane views
+ * stay valid for the life of the FingerprintPlanes (arena lifetime
+ * rule, see sim/plane_arena.hh); the cache shares them behind
+ * shared_ptr<const ...> so a consumer can never outlive its planes.
+ */
 struct FingerprintPlanes
 {
-    /** Stable power-up state, metastable cells at their nonce-1 draw. */
-    std::vector<uint8_t> fingerprint;
+    /** Backing storage for every plane below. */
+    PlaneArena arena;
+    /** Stable power-up state per cell (metastable cells' bits here are
+     * their intrinsic power_up_bit; re-rolls overwrite them). */
+    BitPlane fingerprint;
     /** Bit mask of metastable cells. */
-    std::vector<uint8_t> metastable_mask;
-    /** Per 64-cell word: number of metastable cells in preceding
-     * words — the rank index into meta_theta_raw. */
-    std::vector<uint32_t> meta_rank;
-    /** Per metastable cell (rank order): integer draw threshold. */
-    std::vector<uint64_t> meta_theta_raw;
+    BitPlane metastable_mask;
     /** Array contents after the first power-on (nonce-1 metastable
      * draws applied) — the state every fresh trial starts from. */
-    std::vector<uint8_t> initial_bytes;
+    BitPlane initial_bits;
+    /** Rank-compressed metastable draw cutoffs: entry r is
+     * rawUniformCountBelow(theta) of the r-th metastable cell in cell
+     * order, so every re-roll is one integer compare instead of a bias
+     * hash + double math. Empty above the plane-cache size cap (the
+     * table costs 8 bytes per metastable cell); consumers then derive
+     * the cutoff on the fly, bit-identically. */
+    std::vector<uint64_t> meta_cutoffs;
+    /** Per-word rank of the word's first metastable cell — the index
+     * into meta_cutoffs where word w's cutoffs start. */
+    std::vector<uint32_t> meta_rank;
 
-    /** Approximate heap footprint, for the cache byte cap. */
-    size_t footprint() const;
+    /** Heap footprint, for the cache byte budget. */
+    size_t
+    footprint() const
+    {
+        return arena.bytesReserved() +
+               meta_cutoffs.capacity() * sizeof(uint64_t) +
+               meta_rank.capacity() * sizeof(uint32_t);
+    }
 };
 
 /** Identity of a derivation: every input the planes depend on. */
@@ -64,7 +99,8 @@ struct FingerprintKey
 /**
  * Return the cached planes for @p key, building them with @p build on a
  * miss. Thread-safe. The returned pointer stays valid for the caller's
- * lifetime even if the entry is evicted.
+ * lifetime even if the entry is evicted (or was never inserted because
+ * it exceeds the byte budget).
  */
 std::shared_ptr<const FingerprintPlanes>
 acquireFingerprintPlanes(const FingerprintKey &key,
@@ -76,13 +112,24 @@ struct FingerprintCacheStats
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    /** Builds too large for the budget, served uncached. */
+    uint64_t oversize = 0;
     uint64_t entries = 0;
     uint64_t bytes = 0;
+    /** Current byte budget. */
+    uint64_t capacity = 0;
 };
 
 FingerprintCacheStats fingerprintCacheStats();
 
-/** Drop every cached entry and reset the counters (tests). */
+/**
+ * Override the byte budget (takes effect immediately; evicts down to
+ * the new budget). Supersedes VOLTBOOT_FINGERPRINT_CACHE_MB.
+ */
+void setFingerprintCacheCapacity(size_t bytes);
+
+/** Drop every cached entry and reset the counters (tests). The
+ * capacity is left as configured. */
 void clearFingerprintCache();
 
 } // namespace voltboot

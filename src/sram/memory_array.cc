@@ -15,72 +15,103 @@ namespace voltboot
 namespace
 {
 
-/** Above this many cells the FastCached raw planes (8 bytes per cell
- * per channel) are not worth their memory; hash on the fly instead. */
-constexpr uint64_t kPlaneCacheMaxBits = uint64_t{1} << 24;
+/** Above this many cells the FastCached bucket planes (4 bytes per
+ * cell per channel) are not worth their memory; hash on the fly
+ * instead. Half-width bucket entries let the cap sit one doubling
+ * higher than the original 8-byte raw planes at the same byte
+ * budget, so every real SRAM in the modeled SoCs — and 4 MiB bench
+ * planes — stays on the cached path; only DRAM-scale arrays hash. */
+constexpr uint64_t kPlaneCacheMaxBits = uint64_t{1} << 25;
 
-/**
- * Load/store up to 8 bytes as one word (tail-safe), with byte i of
- * memory always occupying word bits [8i, 8i+8) so a word bit index
- * equals cell_index - 64 * word_index regardless of host endianness.
- */
+/** Valid-lane mask for a word covering @p n <= 64 cells. */
 inline uint64_t
-loadWord(const uint8_t *p, size_t nbytes)
+laneMask(unsigned n)
 {
-    uint64_t v = 0;
-    if constexpr (std::endian::native == std::endian::little) {
-        std::memcpy(&v, p, nbytes);
-    } else {
-        for (size_t i = 0; i < nbytes; ++i)
-            v |= static_cast<uint64_t>(p[i]) << (8 * i);
-    }
-    return v;
-}
-
-inline void
-storeWord(uint8_t *p, uint64_t v, size_t nbytes)
-{
-    if constexpr (std::endian::native == std::endian::little) {
-        std::memcpy(p, &v, nbytes);
-    } else {
-        for (size_t i = 0; i < nbytes; ++i)
-            p[i] = static_cast<uint8_t>(v >> (8 * i));
-    }
+    return n == 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
 }
 
 /**
- * Re-roll every metastable cell of @p bytes in place at power-up nonce
- * @p nonce, via the planes' cached integer draw thresholds. Only words
- * with metastable bits are touched.
+ * Fresh power-up draws for the metastable cells selected by @p mask
+ * (cell indices cell0 + bit) at power-up nonce @p nonce, returned as a
+ * word with draw values at the mask positions and zeros elsewhere.
+ *
+ * Draw keys are hashCombine(cell, nonce) — non-consecutive — so the
+ * hashes go through the gathered batch. The per-cell bias threshold is
+ * taken from @p lane_cutoffs (the word's slice of the rank-compressed
+ * FingerprintPlanes::meta_cutoffs table, one entry per set bit of
+ * @p mask in bit order) when memoised, otherwise recomputed on the fly
+ * from the bias channel: the double math is identical to
+ * metastableTheta()/metastableDraw() (uniformFromRaw of the batched raw
+ * hash), so the integer compare against rawUniformCountBelow(theta) is
+ * bit-exact with the reference draw either way, and DRAM-scale arrays
+ * carry no per-metastable-cell storage.
+ */
+uint64_t
+rerolledDraws(const RetentionModel &model, uint64_t cell0, uint64_t mask,
+              uint64_t nonce, const uint64_t *lane_cutoffs = nullptr)
+{
+    const CellRng &rng = model.rng();
+    uint64_t cells[64], keys[64], draws[64];
+    unsigned n = 0;
+    for (uint64_t m = mask; m; m &= m - 1) {
+        const uint64_t cell = cell0 + std::countr_zero(m);
+        cells[n] = cell;
+        keys[n] = hashCombine(cell, nonce);
+        ++n;
+    }
+    cellBitsBatchIndexed(rng, keys, RetentionModel::ChannelMetastableDraw,
+                         n, draws);
+    uint64_t out = 0;
+    uint64_t m = mask;
+    if (lane_cutoffs) {
+        for (unsigned i = 0; i < n; ++i, m &= m - 1) {
+            const int b = std::countr_zero(m);
+            const uint64_t value = (draws[i] >> 11) < lane_cutoffs[i];
+            out |= value << b;
+        }
+        return out;
+    }
+    const RetentionConfig &cfg = model.config();
+    uint64_t biases[64];
+    cellBitsBatchIndexed(rng, cells, RetentionModel::ChannelMetastableBias,
+                         n, biases);
+    const double bias_lo = cfg.metastable_bias_min;
+    const double bias_range = cfg.metastable_bias_max - bias_lo;
+    for (unsigned i = 0; i < n; ++i, m &= m - 1) {
+        const int b = std::countr_zero(m);
+        const double theta =
+            bias_lo +
+            CellRng::uniformFromRaw(biases[i] >> 11) * bias_range;
+        const uint64_t value =
+            (draws[i] >> 11) < CellRng::rawUniformCountBelow(theta);
+        out |= value << b;
+    }
+    return out;
+}
+
+/**
+ * Re-roll every metastable cell of @p bits in place at power-up nonce
+ * @p nonce. Only words with metastable bits are touched. @p cutoffs /
+ * @p rank are the planes' rank-compressed cutoff table (may be null);
+ * because every metastable bit of a word re-rolls here, word w's lanes
+ * are exactly cutoffs[rank[w]...].
  */
 void
-rerollMetastable(std::vector<uint8_t> &bytes,
-                 const FingerprintPlanes &planes, const CellRng &rng,
-                 uint64_t nonce)
+rerollMetastable(BitPlane &bits, const BitPlane &metastable,
+                 const RetentionModel &model, uint64_t nonce,
+                 const uint64_t *cutoffs = nullptr,
+                 const uint32_t *rank = nullptr)
 {
-    const size_t nbytes = bytes.size();
-    for (size_t w = 0; w * 8 < nbytes; ++w) {
-        const size_t base_byte = w * 8;
-        const size_t nb = std::min<size_t>(8, nbytes - base_byte);
-        uint64_t ms = loadWord(&planes.metastable_mask[base_byte], nb);
-        if (!ms)
+    const size_t nwords = bits.sizeWords();
+    uint64_t *words = bits.words();
+    const uint64_t *ms = metastable.words();
+    for (size_t w = 0; w < nwords; ++w) {
+        const uint64_t m = ms[w];
+        if (!m)
             continue;
-        const uint64_t cell0 = base_byte * 8;
-        // Bits come out of the scan in ascending order, which is
-        // exactly rank order: the threshold index just increments.
-        uint32_t idx = planes.meta_rank[w];
-        uint64_t word = loadWord(&bytes[base_byte], nb);
-        do {
-            const int b = std::countr_zero(ms);
-            ms &= ms - 1;
-            const uint64_t cell = cell0 + b;
-            const uint64_t draw =
-                rng.rawUniform(hashCombine(cell, nonce),
-                               RetentionModel::ChannelMetastableDraw);
-            const uint64_t value = draw < planes.meta_theta_raw[idx++];
-            word = (word & ~(uint64_t{1} << b)) | (value << b);
-        } while (ms);
-        storeWord(&bytes[base_byte], word, nb);
+        words[w] = (words[w] & ~m) |
+                   rerolledDraws(model, w * 64, m, nonce,
+                                 cutoffs ? cutoffs + rank[w] : nullptr);
     }
 }
 
@@ -103,12 +134,17 @@ toString(PowerState state)
 MemoryArray::MemoryArray(std::string name, size_t size_bytes,
                          const RetentionConfig &config, uint64_t chip_seed,
                          uint64_t array_id)
-    : name_(std::move(name)), bytes_(size_bytes, 0),
+    : name_(std::move(name)), size_bytes_(size_bytes),
       model_(config, CellRng(chip_seed, array_id)),
       chip_seed_(chip_seed), array_id_(array_id)
 {
     if (size_bytes == 0)
         fatal("MemoryArray ", name_, ": size must be nonzero");
+    // Both per-array planes come from one tight arena block.
+    const uint64_t nbits = sizeBits();
+    arena_.reserve(2 * PlaneArena::alignWords(BitPlane::wordsFor(nbits)));
+    bits_ = arena_.allocBits(nbits);
+    loss_ = arena_.allocBits(nbits);
 }
 
 void
@@ -144,9 +180,9 @@ MemoryArray::applyLoss(SurvivesFn survives)
 {
     const uint64_t nonce = power_up_count_;
     uint64_t lost = 0;
-    for (size_t byte = 0; byte < bytes_.size(); ++byte) {
-        uint8_t v = bytes_[byte];
-        uint8_t out = 0;
+    for (size_t byte = 0; byte < size_bytes_; ++byte) {
+        const uint8_t v = bits_.byteAt(byte);
+        uint8_t out = 0, loss8 = 0;
         for (int bit = 0; bit < 8; ++bit) {
             const uint64_t cell = byte * 8 + bit;
             const CellParams p = model_.cellParams(cell);
@@ -155,11 +191,13 @@ MemoryArray::applyLoss(SurvivesFn survives)
                 value = (v >> bit) & 1;
             } else {
                 value = agedPowerUpState(cell, p, nonce);
+                loss8 |= 1u << bit;
                 ++lost;
             }
             out |= static_cast<uint8_t>(value) << bit;
         }
-        bytes_[byte] = out;
+        bits_.setByte(byte, out);
+        loss_.setByte(byte, loss8);
     }
     last_cells_lost_ = lost;
 }
@@ -172,8 +210,8 @@ MemoryArray::age(double years)
         fatal("MemoryArray ", name_, ": aging needs positive duration");
     if (imprint_.empty())
         imprint_.assign(sizeBits(), 0.0f);
-    for (size_t byte = 0; byte < bytes_.size(); ++byte) {
-        const uint8_t v = bytes_[byte];
+    for (size_t byte = 0; byte < size_bytes_; ++byte) {
+        const uint8_t v = bits_.byteAt(byte);
         for (int bit = 0; bit < 8; ++bit) {
             const float delta =
                 ((v >> bit) & 1) ? static_cast<float>(years)
@@ -199,7 +237,7 @@ MemoryArray::ensureFingerprint() const
     FingerprintKey key;
     key.chip_seed = chip_seed_;
     key.array_id = array_id_;
-    key.size_bytes = bytes_.size();
+    key.size_bytes = size_bytes_;
     key.metastable_fraction = model_.config().metastable_fraction;
     key.metastable_bias_min = model_.config().metastable_bias_min;
     key.metastable_bias_max = model_.config().metastable_bias_max;
@@ -211,10 +249,12 @@ FingerprintPlanes
 MemoryArray::buildFingerprintPlanes() const
 {
     FingerprintPlanes planes;
-    const size_t nbytes = bytes_.size();
-    planes.fingerprint.assign(nbytes, 0);
-    planes.metastable_mask.assign(nbytes, 0);
-    planes.meta_rank.assign((nbytes + 7) / 8, 0);
+    const uint64_t nbits = sizeBits();
+    planes.arena.reserve(
+        3 * PlaneArena::alignWords(BitPlane::wordsFor(nbits)));
+    planes.fingerprint = planes.arena.allocBits(nbits);
+    planes.metastable_mask = planes.arena.allocBits(nbits);
+    planes.initial_bits = planes.arena.allocBits(nbits);
 
     // Only the power-up and stability channels matter here; deriving
     // them directly (and turning the stability compare into an integer
@@ -222,51 +262,72 @@ MemoryArray::buildFingerprintPlanes() const
     // rawUniformCountBelow) skips the two inverse-normal-CDF
     // evaluations cellParams() would burn per cell. The stable/
     // metastable split is hoisted once into these planes; power-up
-    // re-rolls later touch only words with metastable bits. The mask
-    // loops are branchless 64-cell passes (the per-cell hash chains are
-    // independent, so they pipeline); only the metastable minority pays
-    // for a bias threshold.
+    // re-rolls later touch only words with metastable bits. Each word
+    // of either plane is one mask-derivation call (eight AVX-512
+    // compares on wide hosts, see sim/cell_hash_batch).
     const CellRng &rng = model_.rng();
     const uint64_t meta_min_raw = CellRng::rawUniformCountBelow(
         model_.config().metastable_fraction);
-    planes.meta_theta_raw.reserve(static_cast<size_t>(
-        static_cast<double>(sizeBits()) *
-            model_.config().metastable_fraction +
-        64.0));
-    for (size_t w = 0; w * 8 < nbytes; ++w) {
-        const size_t base_byte = w * 8;
-        const size_t nb = std::min<size_t>(8, nbytes - base_byte);
-        const uint64_t cell0 = base_byte * 8;
-        const unsigned ncells = static_cast<unsigned>(nb * 8);
-        uint64_t hashes[64];
-        uint64_t fp = 0, ms = 0;
-        cellBitsBatch(rng, cell0, RetentionModel::ChannelPowerUp, ncells,
-                      hashes);
-        for (unsigned b = 0; b < ncells; ++b)
-            fp |= (hashes[b] & 1) << b;
-        cellBitsBatch(rng, cell0, RetentionModel::ChannelStability,
-                      ncells, hashes);
-        for (unsigned b = 0; b < ncells; ++b)
-            ms |= static_cast<uint64_t>((hashes[b] >> 11) <
-                                        meta_min_raw)
-                  << b;
-        storeWord(&planes.fingerprint[base_byte], fp, nb);
-        storeWord(&planes.metastable_mask[base_byte], ms, nb);
-        planes.meta_rank[w] =
-            static_cast<uint32_t>(planes.meta_theta_raw.size());
-        while (ms) {
-            const int b = std::countr_zero(ms);
-            ms &= ms - 1;
-            planes.meta_theta_raw.push_back(
-                CellRng::rawUniformCountBelow(
-                    model_.metastableTheta(cell0 + b)));
+    uint64_t *fp = planes.fingerprint.words();
+    uint64_t *ms = planes.metastable_mask.words();
+    const size_t nwords = planes.fingerprint.sizeWords();
+    for (size_t w = 0; w < nwords; ++w) {
+        const uint64_t cell0 = w * 64;
+        const unsigned n =
+            static_cast<unsigned>(std::min<uint64_t>(64, nbits - cell0));
+        fp[w] = cellLsbMaskBatch(rng, cell0,
+                                 RetentionModel::ChannelPowerUp, n);
+        // Metastable iff the raw stability hash is below the fraction
+        // threshold: complement of the >= mask, valid lanes only.
+        uint64_t in_band;
+        const uint64_t ge = cellBandMaskBatch(
+            rng, cell0, RetentionModel::ChannelStability, n,
+            meta_min_raw, meta_min_raw, &in_band);
+        ms[w] = ~ge & laneMask(n);
+    }
+    // Rank-compressed bias cutoff table: the bias theta is
+    // wake-independent silicon, so its rawUniformCountBelow() image is
+    // derived once per die and every later re-roll becomes one integer
+    // compare. Skipped above the plane-cache cap — the table costs
+    // 8 bytes per metastable cell, which DRAM-scale planes do not pay.
+    if (nbits <= kPlaneCacheMaxBits) {
+        const double bias_lo = model_.config().metastable_bias_min;
+        const double bias_range =
+            model_.config().metastable_bias_max - bias_lo;
+        planes.meta_rank.resize(nwords);
+        planes.meta_cutoffs.reserve(
+            static_cast<size_t>(planes.metastable_mask.popcount()));
+        uint64_t biases[64];
+        for (size_t w = 0; w < nwords; ++w) {
+            planes.meta_rank[w] =
+                static_cast<uint32_t>(planes.meta_cutoffs.size());
+            if (!ms[w])
+                continue;
+            const unsigned n = static_cast<unsigned>(
+                std::min<uint64_t>(64, nbits - w * 64));
+            cellBitsBatch(rng, w * 64,
+                          RetentionModel::ChannelMetastableBias, n,
+                          biases);
+            for (uint64_t m = ms[w]; m; m &= m - 1) {
+                const int b = std::countr_zero(m);
+                const double theta =
+                    bias_lo +
+                    CellRng::uniformFromRaw(biases[b] >> 11) * bias_range;
+                planes.meta_cutoffs.push_back(
+                    CellRng::rawUniformCountBelow(theta));
+            }
         }
     }
     // First-power-on contents: the fingerprint with every metastable
     // cell at its nonce-1 draw. Trials all start from this exact state,
     // so sharing it turns their first power-up into a memcpy.
-    planes.initial_bytes = planes.fingerprint;
-    rerollMetastable(planes.initial_bytes, planes, rng, /*nonce=*/1);
+    planes.initial_bits.copyFrom(planes.fingerprint);
+    rerollMetastable(planes.initial_bits, planes.metastable_mask, model_,
+                     /*nonce=*/1,
+                     planes.meta_cutoffs.empty()
+                         ? nullptr
+                         : planes.meta_cutoffs.data(),
+                     planes.meta_rank.data());
     return planes;
 }
 
@@ -279,7 +340,7 @@ MemoryArray::fastKernelEnabled() const
            retentionKernel() != RetentionKernel::Reference;
 }
 
-const uint64_t *
+const uint32_t *
 MemoryArray::cachedPlane(uint64_t channel) const
 {
     if (retentionKernel() != RetentionKernel::FastCached)
@@ -293,12 +354,15 @@ MemoryArray::cachedPlane(uint64_t channel) const
         const CellRng &rng = model_.rng();
         const uint64_t nbits = sizeBits();
         plane.resize(nbits);
+        uint64_t hashes[64];
         for (uint64_t cell0 = 0; cell0 < nbits; cell0 += 64) {
             const unsigned n = static_cast<unsigned>(
                 std::min<uint64_t>(64, nbits - cell0));
-            cellBitsBatch(rng, cell0, channel, n, &plane[cell0]);
+            cellBitsBatch(rng, cell0, channel, n, hashes);
+            // Bucket = top 32 of the 53-bit raw = hash >> (11 + 21).
             for (unsigned b = 0; b < n; ++b)
-                plane[cell0 + b] >>= 11;
+                plane[cell0 + b] =
+                    static_cast<uint32_t>(hashes[b] >> 32);
         }
     }
     return plane.data();
@@ -313,62 +377,109 @@ MemoryArray::applyLossFast(uint64_t channel,
     ensureFingerprint();
     const uint64_t nonce = power_up_count_;
     const CellRng &rng = model_.rng();
-    const uint64_t *plane = cachedPlane(channel);
-    const size_t nbytes = bytes_.size();
+    const uint32_t *plane = cachedPlane(channel);
+    const uint64_t *cut_table =
+        planes_->meta_cutoffs.empty() ? nullptr
+                                      : planes_->meta_cutoffs.data();
+    const uint32_t *cut_rank = planes_->meta_rank.data();
+    const uint64_t nbits = sizeBits();
+    const size_t nwords = bits_.sizeWords();
+    uint64_t *words = bits_.words();
+    uint64_t *loss_words = loss_.words();
+    const uint64_t *fp = planes_->fingerprint.words();
+    const uint64_t *ms = planes_->metastable_mask.words();
     uint64_t lost = 0;
-    // One integer compare per cell classifies everything outside the
-    // guard band; the expected number of in-band cells per transition
-    // is ~band_width / 2^53 * size_bits ~ 1e-3, so the scalar fallback
-    // never shows up in profiles.
-    const auto classify = [&](uint64_t cell, uint64_t raw) -> bool {
-        if (raw < band.lo || raw >= band.hi)
-            return (raw >= band.lo) == loss_at_or_above;
-        return scalarDies(cell);
-    };
-    for (size_t w = 0; w * 8 < nbytes; ++w) {
-        const size_t base_byte = w * 8;
-        const size_t nb = std::min<size_t>(8, nbytes - base_byte);
-        const uint64_t cell0 = base_byte * 8;
-        const unsigned ncells = static_cast<unsigned>(nb * 8);
-        uint64_t loss = 0;
-        if (plane) {
-            for (unsigned b = 0; b < ncells; ++b) {
-                const bool dies = classify(cell0 + b, plane[cell0 + b]);
-                loss |= static_cast<uint64_t>(dies) << b;
+    // Lost metastable cells re-roll through the gathered hash batch.
+    // At typical loss rates only a few bits per word re-roll, so
+    // word-at-a-time batches would run at 1-4 of 8 lanes; accumulating
+    // the re-roll set over a 16-word chunk keeps the batch full and
+    // amortises the per-call cost ~16x.
+    constexpr size_t kChunk = 16;
+    uint64_t meta_masks[kChunk];
+    uint64_t rcells[kChunk * 64], rkeys[kChunk * 64];
+    uint64_t rdraws[kChunk * 64], rcuts[kChunk * 64];
+    const double bias_lo = model_.config().metastable_bias_min;
+    const double bias_range =
+        model_.config().metastable_bias_max - bias_lo;
+    for (size_t w0 = 0; w0 < nwords; w0 += kChunk) {
+        const size_t wend = std::min(w0 + kChunk, nwords);
+        unsigned lanes = 0;
+        for (size_t w = w0; w < wend; ++w) {
+            const uint64_t cell0 = w * 64;
+            const unsigned n = static_cast<unsigned>(
+                std::min<uint64_t>(64, nbits - cell0));
+            // The whole 64-cell word classifies in one mask derivation:
+            // one integer compare per cell settles everything outside
+            // the guard band, and the expected number of in-band cells
+            // per transition is ~band_width / 2^53 * size_bits ~ 1e-3,
+            // so the scalar fallback never shows up in profiles.
+            uint64_t in_band;
+            const uint64_t ge =
+                plane ? rawBucketBandMask(plane + cell0, n, band.lo,
+                                          band.hi, &in_band)
+                      : cellBandMaskBatch(rng, cell0, channel, n,
+                                          band.lo, band.hi, &in_band);
+            uint64_t loss =
+                loss_at_or_above ? ge : (~ge & laneMask(n));
+            for (uint64_t gb = in_band; gb; gb &= gb - 1) {
+                const int b = std::countr_zero(gb);
+                const uint64_t m = uint64_t{1} << b;
+                loss =
+                    (loss & ~m) |
+                    (static_cast<uint64_t>(scalarDies(cell0 + b)) << b);
             }
-        } else {
-            uint64_t hashes[64];
-            cellBitsBatch(rng, cell0, channel, ncells, hashes);
-            for (unsigned b = 0; b < ncells; ++b) {
-                const bool dies = classify(cell0 + b, hashes[b] >> 11);
-                loss |= static_cast<uint64_t>(dies) << b;
-            }
-        }
-        if (!loss)
-            continue; // whole word survives untouched
-        lost += std::popcount(loss);
-        const uint64_t cur = loadWord(&bytes_[base_byte], nb);
-        const uint64_t fp = loadWord(&planes_->fingerprint[base_byte], nb);
-        const uint64_t ms =
-            loadWord(&planes_->metastable_mask[base_byte], nb);
-        uint64_t next = (cur & ~loss) | (fp & loss & ~ms);
-        uint64_t meta_lost = loss & ms;
-        if (meta_lost) {
-            const uint32_t rank0 = planes_->meta_rank[w];
-            do {
-                const int b = std::countr_zero(meta_lost);
-                meta_lost &= meta_lost - 1;
+            loss_words[w] = loss;
+            meta_masks[w - w0] = 0;
+            if (!loss)
+                continue; // whole word survives untouched
+            lost += std::popcount(loss);
+            // Lost stable cells take their fingerprint bit; lost
+            // metastable cells queue for the chunk's re-roll batch.
+            words[w] = (words[w] & ~loss) | (fp[w] & loss & ~ms[w]);
+            const uint64_t meta_lost = loss & ms[w];
+            meta_masks[w - w0] = meta_lost;
+            for (uint64_t m = meta_lost; m; m &= m - 1) {
+                const int b = std::countr_zero(m);
                 const uint64_t cell = cell0 + b;
-                const uint32_t idx =
-                    rank0 + std::popcount(ms & ((uint64_t{1} << b) - 1));
-                const uint64_t draw =
-                    rng.rawUniform(hashCombine(cell, nonce),
-                                   RetentionModel::ChannelMetastableDraw);
-                const uint64_t value = draw < planes_->meta_theta_raw[idx];
-                next = (next & ~(uint64_t{1} << b)) | (value << b);
-            } while (meta_lost);
+                rcells[lanes] = cell;
+                rkeys[lanes] = hashCombine(cell, nonce);
+                if (cut_table) {
+                    // Rank of this cell's cutoff: the word's base rank
+                    // plus the metastable cells before it in the word.
+                    rcuts[lanes] = cut_table
+                        [cut_rank[w] +
+                         std::popcount(ms[w] & ((uint64_t{1} << b) - 1))];
+                }
+                ++lanes;
+            }
         }
-        storeWord(&bytes_[base_byte], next, nb);
+        if (!lanes)
+            continue;
+        cellBitsBatchIndexed(rng, rkeys,
+                             RetentionModel::ChannelMetastableDraw,
+                             lanes, rdraws);
+        if (!cut_table) {
+            // Same double math as metastableTheta(): bit-exact with the
+            // reference draw (see rerolledDraws).
+            cellBitsBatchIndexed(rng, rcells,
+                                 RetentionModel::ChannelMetastableBias,
+                                 lanes, rcuts);
+            for (unsigned i = 0; i < lanes; ++i) {
+                const double theta =
+                    bias_lo +
+                    CellRng::uniformFromRaw(rcuts[i] >> 11) * bias_range;
+                rcuts[i] = CellRng::rawUniformCountBelow(theta);
+            }
+        }
+        unsigned lane = 0;
+        for (size_t w = w0; w < wend; ++w) {
+            uint64_t add = 0;
+            for (uint64_t m = meta_masks[w - w0]; m; m &= m - 1, ++lane) {
+                const uint64_t value = (rdraws[lane] >> 11) < rcuts[lane];
+                add |= value << std::countr_zero(m);
+            }
+            words[w] |= add;
+        }
     }
     last_cells_lost_ = lost;
 }
@@ -393,26 +504,28 @@ MemoryArray::resolveAllToPowerUp()
         applyLoss([](const CellParams &) { return false; });
         return;
     }
+    loss_.setAll();
     if (fastKernelEnabled()) {
         resolveAllToPowerUpFast();
         return;
     }
     ensureFingerprint();
     const uint64_t nonce = power_up_count_;
-    bytes_ = planes_->fingerprint;
+    bits_.copyFrom(planes_->fingerprint);
     // Metastable cells re-roll on every power-up.
-    for (size_t byte = 0; byte < bytes_.size(); ++byte) {
-        const uint8_t ms = planes_->metastable_mask[byte];
-        if (!ms)
+    for (size_t byte = 0; byte < size_bytes_; ++byte) {
+        const uint8_t msb = planes_->metastable_mask.byteAt(byte);
+        if (!msb)
             continue;
+        uint8_t v = bits_.byteAt(byte);
         for (int bit = 0; bit < 8; ++bit) {
-            if (!((ms >> bit) & 1))
+            if (!((msb >> bit) & 1))
                 continue;
             const uint64_t cell = byte * 8 + bit;
             const bool value = model_.metastableDraw(cell, nonce);
-            bytes_[byte] = (bytes_[byte] & ~(1u << bit)) |
-                           (static_cast<uint8_t>(value) << bit);
+            v = (v & ~(1u << bit)) | (static_cast<uint8_t>(value) << bit);
         }
+        bits_.setByte(byte, v);
     }
 }
 
@@ -424,14 +537,18 @@ MemoryArray::resolveAllToPowerUpFast()
     if (nonce == 1) {
         // First ever power-on: the nonce-1 resolve is precomputed in
         // the shared planes.
-        bytes_ = planes_->initial_bytes;
+        bits_.copyFrom(planes_->initial_bits);
         return;
     }
     // Metastable cells re-roll on every power-up; stable cells are
     // fully resolved by the fingerprint copy, so only words with
-    // metastable bits are touched, via cached integer draw thresholds.
-    bytes_ = planes_->fingerprint;
-    rerollMetastable(bytes_, *planes_, model_.rng(), nonce);
+    // metastable bits are touched.
+    bits_.copyFrom(planes_->fingerprint);
+    rerollMetastable(bits_, planes_->metastable_mask, model_, nonce,
+                     planes_->meta_cutoffs.empty()
+                         ? nullptr
+                         : planes_->meta_cutoffs.data(),
+                     planes_->meta_rank.data());
 }
 
 void
@@ -480,8 +597,10 @@ MemoryArray::powerUp(Volt v, Seconds off_time, Temperature temp)
                     return model_.survivesUnpowered(p, off_time, temp);
                 });
             }
+        } else {
+            // Everything survives; contents untouched.
+            loss_.clear();
         }
-        // else: everything survives; contents untouched.
     }
     state_ = PowerState::Powered;
     supply_ = v;
@@ -532,6 +651,7 @@ MemoryArray::droopTo(Volt v_min)
     last_cells_lost_ = 0;
     if (v_min >= model_.config().drv_max) {
         // Above every possible DRV: nothing can flip.
+        loss_.clear();
     } else if (v_min <= model_.config().drv_min) {
         resolveAllToPowerUp();
     } else if (fastKernelEnabled()) {
@@ -573,46 +693,46 @@ uint8_t
 MemoryArray::readByte(size_t addr) const
 {
     requirePowered("readByte");
-    if (addr >= bytes_.size())
+    if (addr >= size_bytes_)
         panic("MemoryArray ", name_, ": read out of range: ", addr);
-    return bytes_[addr];
+    return bits_.byteAt(addr);
 }
 
 void
 MemoryArray::writeByte(size_t addr, uint8_t value)
 {
     requirePowered("writeByte");
-    if (addr >= bytes_.size())
+    if (addr >= size_bytes_)
         panic("MemoryArray ", name_, ": write out of range: ", addr);
-    bytes_[addr] = value;
+    bits_.setByte(addr, value);
 }
 
 void
 MemoryArray::read(size_t addr, std::span<uint8_t> out) const
 {
     requirePowered("read");
-    if (addr + out.size() > bytes_.size())
+    if (addr + out.size() > size_bytes_)
         panic("MemoryArray ", name_, ": block read out of range");
-    std::memcpy(out.data(), bytes_.data() + addr, out.size());
+    bits_.readBytes(addr, out.data(), out.size());
 }
 
 void
 MemoryArray::write(size_t addr, std::span<const uint8_t> data)
 {
     requirePowered("write");
-    if (addr + data.size() > bytes_.size())
+    if (addr + data.size() > size_bytes_)
         panic("MemoryArray ", name_, ": block write out of range");
-    std::memcpy(bytes_.data() + addr, data.data(), data.size());
+    bits_.writeBytes(addr, data.data(), data.size());
 }
 
 uint64_t
 MemoryArray::readWord64(size_t addr) const
 {
     requirePowered("readWord64");
-    if (addr + 8 > bytes_.size())
+    if (addr + 8 > size_bytes_)
         panic("MemoryArray ", name_, ": word read out of range: ", addr);
     uint64_t v;
-    std::memcpy(&v, bytes_.data() + addr, 8);
+    bits_.readBytes(addr, reinterpret_cast<uint8_t *>(&v), 8);
     return v;
 }
 
@@ -620,9 +740,9 @@ void
 MemoryArray::writeWord64(size_t addr, uint64_t value)
 {
     requirePowered("writeWord64");
-    if (addr + 8 > bytes_.size())
+    if (addr + 8 > size_bytes_)
         panic("MemoryArray ", name_, ": word write out of range: ", addr);
-    std::memcpy(bytes_.data() + addr, &value, 8);
+    bits_.writeBytes(addr, reinterpret_cast<const uint8_t *>(&value), 8);
 }
 
 std::vector<uint8_t>
@@ -631,14 +751,14 @@ MemoryArray::snapshot() const
     if (state_ == PowerState::Off)
         panic("MemoryArray ", name_,
               ": snapshot of an unpowered array is physically meaningless");
-    return bytes_;
+    return bits_.toBytes();
 }
 
 void
 MemoryArray::fill(uint8_t value)
 {
     requirePowered("fill");
-    std::fill(bytes_.begin(), bytes_.end(), value);
+    bits_.fillBytes(value);
 }
 
 } // namespace voltboot

@@ -12,6 +12,16 @@
  * Transitions apply the RetentionModel per cell. Cells that lose state
  * resolve to their power-up fingerprint (PUF-like, stable per chip seed,
  * with a metastable fraction that re-rolls every power-up).
+ *
+ * Internally the array is a bit-sliced structure-of-arrays: the stored
+ * bits, the per-event loss mask, and the shared power-up planes
+ * (fingerprint, metastable mask) are contiguous uint64_t word planes
+ * carved out of PlaneArenas (see sim/plane_arena.hh), so the fast
+ * kernels advance 64 cells per word op — or 512 per AVX-512 register
+ * via sim/cell_hash_batch — and DRAM-scale arrays (hundreds of MB of
+ * modeled cells) stay cache- and bandwidth-friendly. The byte API
+ * below (readByte/write/snapshot/...) is a thin view over the packed
+ * plane; on little-endian hosts block transfers are memcpys.
  */
 
 #ifndef VOLTBOOT_SRAM_MEMORY_ARRAY_HH
@@ -23,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/plane_arena.hh"
 #include "sim/rng.hh"
 #include "sim/units.hh"
 #include "sram/fingerprint_cache.hh"
@@ -66,8 +77,8 @@ class MemoryArray
                 uint64_t array_id);
 
     const std::string &name() const { return name_; }
-    size_t sizeBytes() const { return bytes_.size(); }
-    size_t sizeBits() const { return bytes_.size() * 8; }
+    size_t sizeBytes() const { return size_bytes_; }
+    size_t sizeBits() const { return size_bytes_ * 8; }
     PowerState powerState() const { return state_; }
     Volt supplyVoltage() const { return supply_; }
     const RetentionModel &model() const { return model_; }
@@ -118,12 +129,14 @@ class MemoryArray
     /**
      * Raw snapshot of the stored bits regardless of power state —
      * this is what a debug port (RAMINDEX / JTAG) sees after reboot.
-     * Reading an Off array is a modelling error (real SRAM cannot be read
-     * without power) and panics.
+     * Exported word-at-a-time from the packed plane. Reading an Off
+     * array is a modelling error (real SRAM cannot be read without
+     * power) and panics.
      */
     std::vector<uint8_t> snapshot() const;
 
-    /** Fill with a repeated byte pattern (test/bench helper). */
+    /** Fill with a repeated byte pattern (test/bench helper). One word
+     * store per 8 bytes. */
     void fill(uint8_t value);
 
     /** Cell parameters for bit index @p bit (diagnostics/tests). */
@@ -136,6 +149,13 @@ class MemoryArray
      * event (decay past retention time, droop below DRV, or a full
      * power-up resolution). Diagnostics / trace reporting. */
     uint64_t lastCellsLost() const { return last_cells_lost_; }
+
+    /**
+     * The loss mask of the most recent loss event, exported as packed
+     * bytes (bit i == cell i lost). popcount equals lastCellsLost().
+     * Diagnostics/tests; identical across kernels.
+     */
+    std::vector<uint8_t> lastLossMask() const { return loss_.toBytes(); }
 
     /**
      * Circuit aging / data imprinting (the Section 9.2 attack family):
@@ -163,10 +183,12 @@ class MemoryArray
      * integer compare of the cell's raw uniform hash on @p channel
      * against the threshold band (a cell at/above the band dies iff
      * @p loss_at_or_above; the rare hash inside the band is resolved by
-     * @p scalarDies, the exact per-cell predicate), derived 64 cells at
-     * a time into a loss bitmask and applied with word-level bit ops
-     * against the cached fingerprint/metastable planes. Requires
-     * imprint_ empty.
+     * @p scalarDies, the exact per-cell predicate). The loss bitmask is
+     * derived 64 cells at a time straight into the loss word plane
+     * (AVX-512 compare-to-mask where available, see
+     * sim/cell_hash_batch) and applied with word ops against the
+     * fingerprint/metastable planes — no per-cell scatter anywhere.
+     * Requires imprint_ empty.
      */
     template <typename ScalarDiesFn>
     void applyLossFast(uint64_t channel,
@@ -175,24 +197,35 @@ class MemoryArray
     /** Every cell resolves to its power-up state. */
     void resolveAllToPowerUp();
     /** Word-masked resolveAllToPowerUp: copy the fingerprint plane and
-     * re-roll metastable cells via cached integer draw thresholds,
-     * touching only words with metastable bits. */
+     * re-roll metastable cells via batched draws, touching only words
+     * with metastable bits. */
     void resolveAllToPowerUpFast();
     /** True when the threshold kernels may run (runtime selection says
      * fast and no aging imprint modulates power-up draws). */
     bool fastKernelEnabled() const;
     /** Lazily acquire the die's power-up planes (fingerprint,
-     * metastable mask/thresholds, first-power-on contents) from the
-     * process-wide cache, deriving them on a miss. */
+     * metastable mask, first-power-on contents) from the process-wide
+     * cache, deriving them on a miss. */
     void ensureFingerprint() const;
     /** Derive this die's power-up planes from scratch. */
     FingerprintPlanes buildFingerprintPlanes() const;
-    /** FastCached: lazily built plane of raw uniforms for @p channel,
-     * or nullptr when caching is off or the array is too large. */
-    const uint64_t *cachedPlane(uint64_t channel) const;
+    /** FastCached: lazily built plane of raw-uniform *buckets* (top 32
+     * bits of each cell's 53-bit raw hash — see rawBucketBandMask) for
+     * @p channel, or nullptr when caching is off or the array is too
+     * large. Half-width entries halve the stream the band compare
+     * pulls from memory, which is the binding resource at >= 1 MiB
+     * planes; the truncated low bits only ever widen the
+     * scalar-resolve guard band, never change a classification. */
+    const uint32_t *cachedPlane(uint64_t channel) const;
 
     std::string name_;
-    std::vector<uint8_t> bytes_;
+    /** Backing storage for the array's own word planes. */
+    PlaneArena arena_;
+    /** Stored bits, one bit per cell (cell i == bit i). */
+    BitPlane bits_;
+    /** Loss mask of the most recent loss event (same indexing). */
+    BitPlane loss_;
+    size_t size_bytes_ = 0;
     RetentionModel model_;
     /** Emit a "sram_state" trace event for the @p from -> @p to edge. */
     void traceTransition(PowerState from, PowerState to, Volt v) const;
@@ -207,9 +240,9 @@ class MemoryArray
     uint64_t array_id_ = 0;
     /** Shared immutable power-up planes (see FingerprintPlanes). */
     mutable std::shared_ptr<const FingerprintPlanes> planes_;
-    /** FastCached raw uniform planes (DRV / retention channels). */
-    mutable std::vector<uint64_t> drv_raw_plane_;
-    mutable std::vector<uint64_t> retention_raw_plane_;
+    /** FastCached raw-uniform bucket planes (DRV / retention). */
+    mutable std::vector<uint32_t> drv_raw_plane_;
+    mutable std::vector<uint32_t> retention_raw_plane_;
     /** Signed imprint-years per cell; empty until age() is first used. */
     std::vector<float> imprint_;
     /** Resolve @p cell's power-up state including any imprint drift. */

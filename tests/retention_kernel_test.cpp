@@ -228,25 +228,126 @@ TEST(FingerprintCache, SharesPlanesAcrossIdenticalDice)
     EXPECT_EQ(s.bytes, 0u);
 }
 
+/** Restores the process-wide cache byte budget (and empties the cache)
+ * when a test exits, so capacity experiments cannot leak. */
+class CacheCapacityGuard
+{
+public:
+    CacheCapacityGuard() : saved_(fingerprintCacheStats().capacity)
+    {
+        clearFingerprintCache();
+    }
+    ~CacheCapacityGuard()
+    {
+        setFingerprintCacheCapacity(saved_);
+        clearFingerprintCache();
+    }
+
+private:
+    size_t saved_;
+};
+
+TEST(FingerprintCache, ByteBudgetEvictsLeastRecentlyUsed)
+{
+    CacheCapacityGuard guard;
+    auto wake = [](uint64_t chip_seed) {
+        SramArray a("budget", 2048, chip_seed, 7);
+        a.powerUp(Volt(0.8));
+        return a.snapshot();
+    };
+    // Measure what one die costs, then budget for roughly two.
+    wake(0xb001);
+    const size_t per_entry = fingerprintCacheStats().bytes;
+    ASSERT_GT(per_entry, 0u);
+    setFingerprintCacheCapacity(per_entry * 5 / 2);
+
+    wake(0xb002);
+    wake(0xb003); // over budget: the LRU entry (0xb001) must go
+    auto s = fingerprintCacheStats();
+    EXPECT_GE(s.evictions, 1u);
+    EXPECT_LE(s.entries, 2u);
+    EXPECT_LE(s.bytes, s.capacity);
+
+    // The survivors are still hits; the evicted die rebuilds, and the
+    // rebuilt planes resolve to the same bytes as before eviction.
+    const auto before = s;
+    wake(0xb003);
+    EXPECT_EQ(fingerprintCacheStats().hits, before.hits + 1);
+    const auto first = wake(0xb001);
+    EXPECT_EQ(fingerprintCacheStats().misses, before.misses + 1);
+    EXPECT_EQ(wake(0xb001), first);
+}
+
+TEST(FingerprintCache, OversizeBuildsBypassTheCache)
+{
+    CacheCapacityGuard guard;
+    setFingerprintCacheCapacity(0); // everything is oversize
+    auto wake = [](uint64_t chip_seed) {
+        SramArray a("bypass", 2048, chip_seed, 7);
+        a.powerUp(Volt(0.8));
+        return a.snapshot();
+    };
+    const auto base = wake(0x0b1d);
+    auto s = fingerprintCacheStats();
+    EXPECT_EQ(s.entries, 0u);
+    EXPECT_EQ(s.bytes, 0u);
+    EXPECT_GE(s.oversize, 1u);
+
+    // Uncached wakes are still deterministic.
+    EXPECT_EQ(wake(0x0b1d), base);
+    EXPECT_EQ(fingerprintCacheStats().entries, 0u);
+}
+
 // --- Golden equivalence: byte-identical scenarios ---
 
-/** One eventful array life under the current kernel; returns every
- * snapshot and loss count along the way. Odd size exercises the
- * word-kernel tail. */
-std::vector<std::pair<std::vector<uint8_t>, uint64_t>>
-arrayScenario(uint64_t seed)
+/** One recorded step of a scenario: the full plane state and the loss
+ * bookkeeping, all of which must match across kernels. */
+struct ScenarioStep
 {
-    std::vector<std::pair<std::vector<uint8_t>, uint64_t>> log;
+    std::vector<uint8_t> snapshot;
+    uint64_t cells_lost;
+    std::vector<uint8_t> loss_mask;
+
+    bool operator==(const ScenarioStep &other) const = default;
+};
+
+/** A partial-decay off-time for @p model at @p temp (survival strictly
+ * between 5% and 95%), found by scanning the decay slope so the
+ * scenario works for any cell technology. */
+Seconds
+partialDecayOff(const RetentionModel &model, Temperature temp)
+{
+    for (double secs = 1e-9; secs < 1e8; secs *= 1.3) {
+        const double p = model.expectedSurvival(Seconds(secs), temp);
+        if (p > 0.05 && p < 0.95)
+            return Seconds(secs);
+    }
+    return Seconds(0.0);
+}
+
+/**
+ * One eventful array life under the current kernel; returns every
+ * snapshot, loss count, and loss mask along the way. Odd size
+ * exercises the word-kernel tail; works for both cell technologies
+ * (decay points are found on the config's own slope).
+ */
+std::vector<ScenarioStep>
+arrayScenario(uint64_t seed, const RetentionConfig &config)
+{
+    std::vector<ScenarioStep> log;
     auto record = [&](const MemoryArray &a) {
-        log.emplace_back(a.snapshot(), a.lastCellsLost());
+        log.push_back(
+            {a.snapshot(), a.lastCellsLost(), a.lastLossMask()});
     };
-    SramArray a("golden", 1003, seed, 7);
+    MemoryArray a("golden", 1003, config, seed, 7);
+    const RetentionModel model(config, CellRng(seed, 7));
+    const Temperature cold = Temperature::celsius(-110);
+    const Temperature warm = Temperature::celsius(85);
     a.powerUp(Volt(0.8)); // first resolve: full fingerprint
     record(a);
     a.fill(0x5A);
     a.powerDown();
-    a.powerUp(Volt(0.8), Seconds::milliseconds(20),
-              Temperature::celsius(-110)); // partial decay (~80% live)
+    a.powerUp(Volt(0.8), partialDecayOff(model, cold), cold);
     record(a);
     a.droopTo(Volt::millivolts(300)); // partial DRV loss
     record(a);
@@ -254,33 +355,84 @@ arrayScenario(uint64_t seed)
     a.resumePowered(Volt(0.8));
     record(a);
     a.powerDown();
-    a.powerUp(Volt(0.8), Seconds::milliseconds(5),
-              Temperature::celsius(-80)); // different decay point
+    a.powerUp(Volt(0.8), partialDecayOff(model, warm),
+              warm); // different decay point
     record(a);
     a.powerDown();
-    a.powerUp(Volt(0.8), Seconds(1.0),
-              Temperature::celsius(25)); // total loss: resolve-all
+    a.powerUp(Volt(0.8), Seconds(1e9),
+              Temperature::celsius(85)); // total loss: resolve-all
     record(a);
     return log;
 }
 
-TEST(GoldenEquivalence, ArrayTransitionsAreByteIdenticalAcrossKernels)
+void
+expectScenarioMatchesReference(const RetentionConfig &config,
+                               const char *config_name)
 {
     for (uint64_t seed : {1ull, 2ull, 0x5eedull}) {
         KernelGuard ref(RetentionKernel::Reference);
-        const auto expected = arrayScenario(seed);
+        const auto expected = arrayScenario(seed, config);
         for (RetentionKernel k :
              {RetentionKernel::Fast, RetentionKernel::FastCached}) {
             KernelGuard guard(k);
-            const auto got = arrayScenario(seed);
+            const auto got = arrayScenario(seed, config);
             ASSERT_EQ(got.size(), expected.size());
             for (size_t i = 0; i < got.size(); ++i) {
-                EXPECT_EQ(got[i].second, expected[i].second)
-                    << toString(k) << " lastCellsLost, step " << i;
-                ASSERT_EQ(got[i].first, expected[i].first)
-                    << toString(k) << " snapshot bytes, step " << i;
+                EXPECT_EQ(got[i].cells_lost, expected[i].cells_lost)
+                    << config_name << " " << toString(k)
+                    << " lastCellsLost, step " << i;
+                ASSERT_EQ(got[i].loss_mask, expected[i].loss_mask)
+                    << config_name << " " << toString(k)
+                    << " loss mask, step " << i;
+                ASSERT_EQ(got[i].snapshot, expected[i].snapshot)
+                    << config_name << " " << toString(k)
+                    << " snapshot bytes, step " << i;
             }
         }
+    }
+}
+
+TEST(GoldenEquivalence, SramTransitionsAreByteIdenticalAcrossKernels)
+{
+    expectScenarioMatchesReference(RetentionConfig::sram6t(), "sram6t");
+}
+
+TEST(GoldenEquivalence, DramTransitionsAreByteIdenticalAcrossKernels)
+{
+    expectScenarioMatchesReference(RetentionConfig::dram(), "dram");
+}
+
+TEST(GoldenEquivalence, AgedArraysForceTheReferencePathAndStillMatch)
+{
+    // The word kernels never consult the imprint planes, so an aged
+    // array silently routed through them would resolve lost cells
+    // without the imprint bias and diverge. Byte equality across
+    // kernels therefore proves age() pins the array to the reference
+    // path regardless of the selected kernel.
+    auto agedScenario = [](RetentionKernel k) {
+        KernelGuard guard(k);
+        SramArray a("aged", 797, 0x11, 5);
+        a.powerUp(Volt(0.8));
+        a.fill(0xF0);
+        a.age(10.0); // a decade of imprint: weight 1/3 toward 0xF0
+        a.powerDown();
+        a.powerUp(Volt(0.8), Seconds::milliseconds(20),
+                  Temperature::celsius(-110));
+        ScenarioStep decay{a.snapshot(), a.lastCellsLost(),
+                           a.lastLossMask()};
+        a.droopTo(Volt::millivolts(300));
+        ScenarioStep droop{a.snapshot(), a.lastCellsLost(),
+                           a.lastLossMask()};
+        return std::make_pair(decay, droop);
+    };
+    const auto expected = agedScenario(RetentionKernel::Reference);
+    for (RetentionKernel k :
+         {RetentionKernel::Fast, RetentionKernel::FastCached}) {
+        const auto got = agedScenario(k);
+        ASSERT_EQ(got.first, expected.first)
+            << toString(k) << " aged decay step diverges";
+        ASSERT_EQ(got.second, expected.second)
+            << toString(k) << " aged droop step diverges";
     }
 }
 

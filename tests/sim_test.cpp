@@ -9,8 +9,10 @@
 #include <set>
 #include <vector>
 
+#include "sim/cell_hash_batch.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/plane_arena.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/units.hh"
@@ -299,6 +301,207 @@ TEST(Logging, MessagesAreFormatted)
         FAIL() << "fatal did not throw";
     } catch (const FatalError &e) {
         EXPECT_STREQ(e.what(), "value 7 exceeds 3.5");
+    }
+}
+
+// --- Arena-backed bit planes (the SoA retention storage) ---
+
+TEST(PlaneArena, AllocationsAreZeroedAndAligned)
+{
+    PlaneArena arena;
+    for (size_t nwords : {1u, 7u, 64u, 1000u}) {
+        uint64_t *p = arena.allocWords(nwords);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+        for (size_t i = 0; i < nwords; ++i)
+            ASSERT_EQ(p[i], 0u) << "word " << i;
+    }
+}
+
+TEST(PlaneArena, ReserveYieldsOneTightBlock)
+{
+    PlaneArena arena;
+    const size_t span = PlaneArena::alignWords(BitPlane::wordsFor(100000));
+    arena.reserve(3 * span);
+    arena.allocBits(100000);
+    arena.allocBits(100000);
+    arena.allocBits(100000);
+    EXPECT_EQ(arena.blockCount(), 1u);
+    EXPECT_EQ(arena.bytesUsed(), 3 * span * sizeof(uint64_t));
+    EXPECT_GE(arena.bytesReserved(), arena.bytesUsed());
+}
+
+TEST(PlaneArena, ViewsSurviveAMoveOfTheArena)
+{
+    PlaneArena arena;
+    BitPlane plane = arena.allocBits(200);
+    plane.setBit(3, true);
+    plane.setBit(199, true);
+    PlaneArena moved = std::move(arena);
+    EXPECT_TRUE(plane.bit(3));
+    EXPECT_TRUE(plane.bit(199));
+    EXPECT_EQ(plane.popcount(), 2u);
+    EXPECT_GT(moved.bytesReserved(), 0u);
+}
+
+TEST(BitPlane, ByteAndBitAccessorsAgree)
+{
+    PlaneArena arena;
+    BitPlane plane = arena.allocBits(30 * 8); // not a whole word count
+    for (size_t addr = 0; addr < 30; ++addr)
+        plane.setByte(addr, static_cast<uint8_t>(addr * 37 + 1));
+    for (size_t addr = 0; addr < 30; ++addr) {
+        const uint8_t v = static_cast<uint8_t>(addr * 37 + 1);
+        ASSERT_EQ(plane.byteAt(addr), v) << "byte " << addr;
+        for (int bit = 0; bit < 8; ++bit)
+            ASSERT_EQ(plane.bit(addr * 8 + bit), (v >> bit) & 1)
+                << "byte " << addr << " bit " << bit;
+    }
+}
+
+TEST(BitPlane, BlockTransfersRoundTrip)
+{
+    PlaneArena arena;
+    BitPlane plane = arena.allocBits(101 * 8);
+    std::vector<uint8_t> data(57);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<uint8_t>(i ^ 0xC3);
+    plane.writeBytes(11, data.data(), data.size());
+    std::vector<uint8_t> back(data.size());
+    plane.readBytes(11, back.data(), back.size());
+    EXPECT_EQ(back, data);
+    const std::vector<uint8_t> all = plane.toBytes();
+    ASSERT_EQ(all.size(), 101u);
+    for (size_t i = 0; i < data.size(); ++i)
+        ASSERT_EQ(all[11 + i], data[i]);
+    EXPECT_EQ(all[0], 0u); // untouched bytes stayed zeroed
+}
+
+TEST(BitPlane, FillSetAllAndClearKeepTheTailInvariant)
+{
+    PlaneArena arena;
+    BitPlane plane = arena.allocBits(13 * 8); // 104 bits: ragged word
+    plane.fillBytes(0xFF);
+    EXPECT_EQ(plane.popcount(), 13u * 8);
+    // Bits past sizeBits() in the final word must stay zero.
+    EXPECT_EQ(plane.word(plane.sizeWords() - 1) & ~plane.tailMask(), 0u);
+    plane.setAll();
+    EXPECT_EQ(plane.popcount(), 13u * 8);
+    EXPECT_EQ(plane.word(plane.sizeWords() - 1) & ~plane.tailMask(), 0u);
+    plane.clear();
+    EXPECT_EQ(plane.popcount(), 0u);
+    plane.fillBytes(0xA5);
+    for (size_t addr = 0; addr < 13; ++addr)
+        ASSERT_EQ(plane.byteAt(addr), 0xA5);
+}
+
+// --- Word-mask derivation batches (bit-exact with CellRng) ---
+
+TEST(CellHashBatch, IndexedBatchMatchesScalarBits)
+{
+    const CellRng rng(0xfeed, 9);
+    uint64_t keys[64], out[64];
+    for (unsigned i = 0; i < 64; ++i)
+        keys[i] = hashCombine(i * 977 + 13, 41); // scattered keys
+    for (unsigned n : {1u, 7u, 8u, 9u, 63u, 64u}) {
+        cellBitsBatchIndexed(rng, keys, 5, n, out);
+        for (unsigned i = 0; i < n; ++i)
+            ASSERT_EQ(out[i], rng.bits(keys[i], 5))
+                << "n=" << n << " i=" << i;
+    }
+}
+
+TEST(CellHashBatch, BandMaskMatchesScalarCompares)
+{
+    const CellRng rng(0xabc, 4);
+    // A band placed at the median so both sides populate, wide enough
+    // that in_band bits actually occur.
+    const uint64_t lo = CellRng::kRawUniformBuckets / 2;
+    const uint64_t hi = lo + (CellRng::kRawUniformBuckets / 16);
+    uint64_t saw_in_band = 0;
+    for (uint64_t cell0 : {0ull, 64ull, 1000ull}) {
+        for (unsigned n : {1u, 9u, 64u}) {
+            uint64_t in_band = ~uint64_t{0};
+            const uint64_t ge =
+                cellBandMaskBatch(rng, cell0, 2, n, lo, hi, &in_band);
+            for (unsigned b = 0; b < n; ++b) {
+                const uint64_t raw = rng.rawUniform(cell0 + b, 2);
+                ASSERT_EQ((ge >> b) & 1, raw >= lo ? 1u : 0u);
+                ASSERT_EQ((in_band >> b) & 1,
+                          (raw >= lo && raw < hi) ? 1u : 0u);
+            }
+            // Lanes past n must be zero in both masks.
+            if (n < 64) {
+                EXPECT_EQ(ge >> n, 0u);
+                EXPECT_EQ(in_band >> n, 0u);
+            }
+            saw_in_band |= in_band;
+        }
+    }
+    EXPECT_NE(saw_in_band, 0u); // the wide band really exercised it
+}
+
+TEST(CellHashBatch, RawBucketBandMaskMatchesScalarCompares)
+{
+    uint64_t raw[64];
+    uint32_t bucket[64];
+    const CellRng rng(0x77, 1);
+    for (unsigned i = 0; i < 64; ++i) {
+        raw[i] = rng.rawUniform(i, 3);
+        bucket[i] = static_cast<uint32_t>(raw[i] >> 21);
+    }
+    const uint64_t lo = CellRng::kRawUniformBuckets / 3;
+    const uint64_t hi = 2 * (CellRng::kRawUniformBuckets / 3);
+    for (unsigned n : {1u, 8u, 15u, 17u, 64u}) {
+        uint64_t in_band = ~uint64_t{0};
+        const uint64_t ge = rawBucketBandMask(bucket, n, lo, hi, &in_band);
+        for (unsigned b = 0; b < n; ++b) {
+            const bool resolve = (in_band >> b) & 1;
+            if (resolve) {
+                // The scalar-resolve set may over-approximate [lo, hi)
+                // by at most one 2^21-raw bucket per edge.
+                ASSERT_GE(raw[b] + (uint64_t{1} << 21), lo);
+                ASSERT_LT(raw[b], hi + (uint64_t{1} << 21));
+            } else {
+                // Outside it, the classification is exact.
+                ASSERT_EQ((ge >> b) & 1, raw[b] >= lo ? 1u : 0u);
+            }
+            // Every true in-band raw must be in the resolve set.
+            if (raw[b] >= lo && raw[b] < hi)
+                ASSERT_TRUE(resolve);
+        }
+        if (n < 64) {
+            EXPECT_EQ(ge >> n, 0u);
+            EXPECT_EQ(in_band >> n, 0u);
+        }
+    }
+    // A band at the top of the hash range: hi's bucket (2^32)
+    // overflows a 32-bit lane; nothing may classify as >= hi.
+    uint64_t in_band = ~uint64_t{0};
+    const uint64_t ge = rawBucketBandMask(
+        bucket, 64, CellRng::kRawUniformBuckets - (uint64_t{1} << 22),
+        CellRng::kRawUniformBuckets, &in_band);
+    EXPECT_EQ(ge, 0u);
+    // And a degenerate band above every representable raw: no lane
+    // dies, no lane needs resolving.
+    const uint64_t ge2 = rawBucketBandMask(
+        bucket, 64, CellRng::kRawUniformBuckets,
+        CellRng::kRawUniformBuckets, &in_band);
+    EXPECT_EQ(ge2, 0u);
+    EXPECT_EQ(in_band, 0u);
+}
+
+TEST(CellHashBatch, LsbMaskMatchesScalarBits)
+{
+    const CellRng rng(0x5eed, 8);
+    for (uint64_t cell0 : {0ull, 320ull}) {
+        for (unsigned n : {1u, 5u, 16u, 64u}) {
+            const uint64_t mask = cellLsbMaskBatch(rng, cell0, 3, n);
+            for (unsigned b = 0; b < n; ++b)
+                ASSERT_EQ((mask >> b) & 1, rng.bits(cell0 + b, 3) & 1);
+            if (n < 64)
+                EXPECT_EQ(mask >> n, 0u);
+        }
     }
 }
 

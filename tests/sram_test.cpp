@@ -310,6 +310,98 @@ TEST(MemoryArray, ZeroSizeRejected)
     EXPECT_THROW(SramArray("t", 0, 1, 1), FatalError);
 }
 
+TEST(MemoryArray, LastLossMaskMatchesTheLossCount)
+{
+    SramArray a("t", 1003, 7, 13); // odd size: word-kernel tail
+    a.powerUp(Volt(0.8));
+    a.fill(0xFF);
+    const std::vector<uint8_t> before = a.snapshot();
+    a.droopTo(Volt::millivolts(250)); // ~half the cells flip
+    const std::vector<uint8_t> after = a.snapshot();
+    const std::vector<uint8_t> mask = a.lastLossMask();
+    ASSERT_EQ(mask.size(), a.sizeBytes());
+    uint64_t mask_bits = 0;
+    for (size_t i = 0; i < mask.size(); ++i) {
+        mask_bits += std::popcount(mask[i]);
+        // Any bit that changed must be flagged lost (a lost cell may
+        // still land on its old value, but never the reverse).
+        ASSERT_EQ(static_cast<uint8_t>((before[i] ^ after[i]) & ~mask[i]),
+                  0u)
+            << "byte " << i;
+    }
+    EXPECT_EQ(mask_bits, a.lastCellsLost());
+    EXPECT_GT(mask_bits, 0u);
+
+    // A harmless droop reports an empty mask.
+    a.droopTo(Volt(0.60)); // above drv_max
+    EXPECT_EQ(a.lastCellsLost(), 0u);
+    for (uint8_t b : a.lastLossMask())
+        ASSERT_EQ(b, 0u);
+}
+
+TEST(MemoryArray, FillAndSnapshotAgreeWithByteAccessors)
+{
+    SramArray a("t", 1003, 8, 14); // not a multiple of 8: ragged word
+    a.powerUp(Volt(0.8));
+    a.fill(0xC3);
+    for (size_t i = 0; i < a.sizeBytes(); ++i)
+        ASSERT_EQ(a.readByte(i), 0xC3) << "byte " << i;
+    a.writeByte(1002, 0x1F);
+    a.writeByte(0, 0x80);
+    const std::vector<uint8_t> snap = a.snapshot();
+    ASSERT_EQ(snap.size(), a.sizeBytes());
+    EXPECT_EQ(snap[0], 0x80);
+    EXPECT_EQ(snap[1002], 0x1F);
+    for (size_t i = 1; i < 1002; ++i)
+        ASSERT_EQ(snap[i], 0xC3) << "byte " << i;
+}
+
+// --- DRAM-scale smoke: the SoA planes at hundreds of megabits ---
+
+TEST(DramScaleSmoke, SixtyFourMebibytePlaneDecaysAndSnapshots)
+{
+    constexpr size_t kBytes = size_t{64} << 20; // 2^29 cells
+    const RetentionModel model(RetentionConfig::dram(),
+                               CellRng(0xd7a3, 1));
+    // Find a partial-decay point on the DRAM slope (survival strictly
+    // between 5% and 95%) instead of hard-coding technology constants.
+    const Temperature temp = Temperature::celsius(85.0);
+    Seconds off(0.0);
+    double p_survive = 1.0;
+    for (double secs = 0.01; secs < 1e8; secs *= 2.0) {
+        const double p = model.expectedSurvival(Seconds(secs), temp);
+        if (p > 0.05 && p < 0.95) {
+            off = Seconds(secs);
+            p_survive = p;
+            break;
+        }
+    }
+    ASSERT_GT(off.seconds(), 0.0) << "no partial-decay point found";
+
+    DramArray a("dram-scale", kBytes, 0xd7a3, 1);
+    a.powerUp(Volt(1.1));
+    a.fill(0x5A);
+    a.powerDown();
+    a.powerUp(Volt(1.1), off, temp);
+
+    const double lost_frac =
+        static_cast<double>(a.lastCellsLost()) / a.sizeBits();
+    EXPECT_NEAR(lost_frac, 1.0 - p_survive, 0.01);
+
+    const std::vector<uint8_t> snap = a.snapshot();
+    ASSERT_EQ(snap.size(), kBytes);
+    const std::vector<uint8_t> mask = a.lastLossMask();
+    ASSERT_EQ(mask.size(), kBytes);
+    uint64_t mask_bits = 0;
+    for (size_t i = 0; i < kBytes; ++i) {
+        mask_bits += std::popcount(mask[i]);
+        // Surviving cells kept the pattern exactly.
+        ASSERT_EQ(static_cast<uint8_t>((snap[i] ^ 0x5A) & ~mask[i]), 0u)
+            << "byte " << i;
+    }
+    EXPECT_EQ(mask_bits, a.lastCellsLost());
+}
+
 // --- Property sweep: retention is monotone in temperature ---
 
 class RetentionTemperatureSweep
