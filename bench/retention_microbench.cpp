@@ -22,11 +22,20 @@
  * --jobs concurrent threads (shared fingerprint cache) and asserts the
  * snapshots are byte-identical across threads.
  *
+ * With --overhead the bench instead times the decay transition with and
+ * without a telemetry::WorkerScope installed (interleaved rounds,
+ * best-of-N each side) and fails when the instrumented side is more
+ * than --overhead-threshold slower — the guard that keeps the live
+ * counter instrumentation honest (BENCH_overhead.json artefact).
+ *
  * Flags:
  *   --bytes N     array size in bytes       (default 262144)
  *   --reps N      timed repetitions         (default 8)
  *   --sizes A,B   plane-scaling mode over the listed sizes (bytes)
  *   --jobs N      threads for the cross-thread identity check (default 2)
+ *   --overhead    counter-overhead guard mode (decay kernel)
+ *   --overhead-rounds N      interleaved rounds per side (default 7)
+ *   --overhead-threshold F   max allowed slowdown fraction (default 0.02)
  *   --smoke       CI preset: small array, few reps
  */
 
@@ -43,6 +52,7 @@
 #include "sram/fingerprint_cache.hh"
 #include "sram/memory_array.hh"
 #include "sram/retention_kernel.hh"
+#include "telemetry/counters.hh"
 
 using namespace voltboot;
 
@@ -77,7 +87,9 @@ usageFatal(const std::string &detail)
 {
     std::cerr << "retention_microbench: " << detail << "\n"
               << "usage: retention_microbench [--bytes N] [--reps N] "
-                 "[--sizes A,B,...] [--jobs N] [--smoke]\n";
+                 "[--sizes A,B,...] [--jobs N] [--overhead] "
+                 "[--overhead-rounds N] [--overhead-threshold F] "
+                 "[--smoke]\n";
     std::exit(2);
 }
 
@@ -90,6 +102,19 @@ parseUint(const std::string &flag, const std::string &text)
     if (ec != std::errc() || ptr != text.data() + text.size() ||
         text.empty())
         usageFatal("malformed value '" + text + "' for " + flag);
+    return value;
+}
+
+double
+parseFraction(const std::string &flag, const std::string &text)
+{
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size() ||
+        text.empty() || value <= 0.0 || value >= 1.0)
+        usageFatal("malformed fraction '" + text + "' for " + flag +
+                   " (want a value in (0, 1))");
     return value;
 }
 
@@ -246,6 +271,83 @@ crossJobsIdentical(size_t bytes, unsigned jobs)
     return true;
 }
 
+/**
+ * Counter-overhead guard: time the decay transition under the fast
+ * kernel with and without a telemetry::WorkerScope installed. Rounds
+ * interleave the two sides so frequency drift hits both equally, and
+ * each side keeps its *minimum* round time — the noise-robust estimator
+ * for "how fast can this code go". Fails when the instrumented minimum
+ * is more than @p threshold slower (one-sided: instrumented being
+ * faster is measurement noise, never a failure).
+ */
+int
+runOverheadGuard(size_t bytes, unsigned reps, unsigned rounds,
+                 double threshold)
+{
+    bench::banner("P3c", "telemetry counter overhead (decay kernel)");
+    std::cout << "array: " << bytes << " bytes, " << reps
+              << " reps per round, best of " << rounds
+              << " interleaved rounds, threshold "
+              << jsonNum(threshold * 100) << "%\n\n";
+
+    KernelScope scope(RetentionKernel::Fast);
+    runScenario("decay_survival", bytes, reps); // warm fingerprint cache
+
+    double plain_s = 0.0, instr_s = 0.0;
+    std::vector<uint8_t> plain_snap, instr_snap;
+    for (unsigned r = 0; r < rounds; ++r) {
+        const ScenarioRun plain =
+            runScenario("decay_survival", bytes, reps);
+        if (r == 0 || plain.seconds < plain_s)
+            plain_s = plain.seconds;
+        plain_snap = plain.snapshot;
+
+        telemetry::WorkerScope telemetry_scope;
+        const ScenarioRun instr =
+            runScenario("decay_survival", bytes, reps);
+        if (r == 0 || instr.seconds < instr_s)
+            instr_s = instr.seconds;
+        instr_snap = instr.snapshot;
+    }
+    if (instr_snap != plain_snap) {
+        std::cout << "ERROR: instrumented run diverges from plain run!\n";
+        return 1;
+    }
+
+    const double cells = static_cast<double>(bytes) * 8.0 * reps;
+    const double plain_cps = plain_s > 0.0 ? cells / plain_s : 0.0;
+    const double instr_cps = instr_s > 0.0 ? cells / instr_s : 0.0;
+    const double overhead =
+        plain_s > 0.0 ? (instr_s - plain_s) / plain_s : 0.0;
+    const bool pass = overhead <= threshold;
+
+    TextTable table({"side", "seconds", "cells/s"});
+    table.addRow({"uninstrumented", jsonNum(plain_s),
+                  TextTable::num(plain_cps / 1e6, 1) + "M"});
+    table.addRow({"instrumented", jsonNum(instr_s),
+                  TextTable::num(instr_cps / 1e6, 1) + "M"});
+    std::cout << table.render();
+    std::cout << "overhead: " << jsonNum(overhead * 100) << "% ("
+              << (pass ? "PASS" : "FAIL") << ", limit "
+              << jsonNum(threshold * 100) << "%)\n";
+
+    std::string artefact =
+        "{\n  \"bench\": \"telemetry_overhead\",\n"
+        "  \"scenario\": \"decay_survival\",\n"
+        "  \"bytes\": " + std::to_string(bytes) +
+        ",\n  \"reps\": " + std::to_string(reps) +
+        ",\n  \"rounds\": " + std::to_string(rounds) +
+        ",\n  \"uninstrumented_seconds\": " + jsonNum(plain_s) +
+        ",\n  \"instrumented_seconds\": " + jsonNum(instr_s) +
+        ",\n  \"uninstrumented_cells_per_second\": " + jsonNum(plain_cps) +
+        ",\n  \"instrumented_cells_per_second\": " + jsonNum(instr_cps) +
+        ",\n  \"overhead_fraction\": " + jsonNum(overhead) +
+        ",\n  \"threshold\": " + jsonNum(threshold) +
+        ",\n  \"pass\": " + (pass ? "true" : "false") + "\n}\n";
+    bench::saveArtefact("BENCH_overhead.json", artefact);
+    return pass ? 0 : 1;
+}
+
 int
 runPlaneScaling(const std::vector<size_t> &sizes, unsigned reps,
                 unsigned jobs)
@@ -385,6 +487,9 @@ main(int argc, char **argv)
     size_t bytes = 256 * 1024;
     unsigned reps = 8;
     unsigned jobs = 2;
+    bool overhead = false;
+    unsigned overhead_rounds = 7;
+    double overhead_threshold = 0.02;
     std::vector<size_t> sizes;
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -401,6 +506,13 @@ main(int argc, char **argv)
             sizes = parseSizeList(flag, value());
         else if (flag == "--jobs")
             jobs = static_cast<unsigned>(parseUint(flag, value()));
+        else if (flag == "--overhead")
+            overhead = true;
+        else if (flag == "--overhead-rounds")
+            overhead_rounds =
+                static_cast<unsigned>(parseUint(flag, value()));
+        else if (flag == "--overhead-threshold")
+            overhead_threshold = parseFraction(flag, value());
         else if (flag == "--smoke") {
             bytes = 16 * 1024;
             reps = 2;
@@ -410,10 +522,17 @@ main(int argc, char **argv)
     }
     if (bytes == 0 || reps == 0 || jobs == 0)
         usageFatal("--bytes, --reps and --jobs must be >= 1");
+    if (overhead_rounds == 0)
+        usageFatal("--overhead-rounds must be >= 1");
     for (size_t s : sizes)
         if (s == 0)
             usageFatal("--sizes entries must be >= 1");
+    if (overhead && !sizes.empty())
+        usageFatal("--overhead and --sizes are mutually exclusive");
 
+    if (overhead)
+        return runOverheadGuard(bytes, reps, overhead_rounds,
+                                overhead_threshold);
     if (!sizes.empty())
         return runPlaneScaling(sizes, reps, jobs);
 

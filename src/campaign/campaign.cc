@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/counters.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
 
@@ -94,6 +95,9 @@ Campaign::run()
         // Metrics is thread-safe; the registry is shared by all
         // workers. The trace sink below is per-trial, never shared.
         trace::MetricsScope metrics_scope(&metrics);
+        // Every hot-path counter this worker touches lands in its own
+        // cache-line-padded block; the telemetry monitor sums them.
+        telemetry::WorkerScope telemetry_scope;
         for (;;) {
             const uint64_t begin = cursor.fetch_add(chunk);
             if (begin >= total)
@@ -106,7 +110,9 @@ Campaign::run()
                     rec.spec = grid_.at(i);
                     rec.status = TrialStatus::Skipped;
                     rec.detail = "campaign aborted";
+                    telemetry::add(telemetry::Counter::TrialsSkipped);
                 } else {
+                    telemetry::add(telemetry::Counter::TrialsStarted);
                     const auto start = clock::now();
                     trace::MemoryTraceSink sink;
                     {
@@ -159,6 +165,12 @@ Campaign::run()
                         if (config_.abort_on_timeout)
                             requestAbort();
                     }
+                    telemetry::add(telemetry::Counter::TrialsCompleted);
+                    if (rec.status == TrialStatus::Ok)
+                        telemetry::add(telemetry::Counter::TrialsWon);
+                    else if (rec.status == TrialStatus::Error ||
+                             rec.status == TrialStatus::AttackFailed)
+                        telemetry::add(telemetry::Counter::TrialsFailed);
                 }
                 result.records[i] = std::move(rec);
 

@@ -25,6 +25,35 @@ promValue(double value)
     return trace::jsonNumber(value);
 }
 
+/** `{a="x",b="y"}` for the constant labels; empty for none. */
+std::string
+renderLabels(const PrometheusLabels &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    for (size_t i = 0; i < labels.size(); ++i) {
+        if (i)
+            out += ",";
+        out += labels[i].first + "=\"" +
+               escapeLabelValue(labels[i].second) + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+/** Constant labels merged with the summary's quantile label. */
+std::string
+renderQuantileLabels(const PrometheusLabels &labels,
+                     const char *quantile)
+{
+    std::string out = "{";
+    for (const auto &[key, value] : labels)
+        out += key + "=\"" + escapeLabelValue(value) + "\",";
+    out += std::string("quantile=\"") + quantile + "\"}";
+    return out;
+}
+
 } // namespace
 
 std::string
@@ -37,28 +66,55 @@ prometheusName(const std::string &name)
 }
 
 std::string
+escapeLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
 toPrometheus(const trace::MetricsSnapshot &snap)
 {
+    return toPrometheus(snap, {});
+}
+
+std::string
+toPrometheus(const trace::MetricsSnapshot &snap,
+             const PrometheusLabels &labels)
+{
+    const std::string l = renderLabels(labels);
     std::string out;
     for (const auto &[name, value] : snap.counters) {
         const std::string p = prometheusName(name);
         out += "# TYPE " + p + " counter\n";
-        out += p + " " + promValue(value) + "\n";
+        out += p + l + " " + promValue(value) + "\n";
     }
     for (const auto &[name, value] : snap.gauges) {
         const std::string p = prometheusName(name);
         out += "# TYPE " + p + " gauge\n";
-        out += p + " " + promValue(value) + "\n";
+        out += p + l + " " + promValue(value) + "\n";
     }
     for (const auto &[name, h] : snap.histograms) {
         const std::string p = prometheusName(name);
         out += "# TYPE " + p + " summary\n";
-        out += p + "{quantile=\"0.5\"} " + promValue(h.p50) + "\n";
-        out += p + "{quantile=\"0.9\"} " + promValue(h.p90) + "\n";
-        out += p + "{quantile=\"0.99\"} " + promValue(h.p99) + "\n";
-        out += p + "_sum " +
+        out += p + renderQuantileLabels(labels, "0.5") + " " +
+               promValue(h.p50) + "\n";
+        out += p + renderQuantileLabels(labels, "0.9") + " " +
+               promValue(h.p90) + "\n";
+        out += p + renderQuantileLabels(labels, "0.99") + " " +
+               promValue(h.p99) + "\n";
+        out += p + "_sum" + l + " " +
                promValue(h.mean * static_cast<double>(h.count)) + "\n";
-        out += p + "_count " + std::to_string(h.count) + "\n";
+        out += p + "_count" + l + " " + std::to_string(h.count) + "\n";
     }
     return out;
 }

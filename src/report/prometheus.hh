@@ -14,6 +14,8 @@
 #define VOLTBOOT_REPORT_PROMETHEUS_HH
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "trace/metrics.hh"
 
@@ -22,11 +24,24 @@ namespace voltboot
 namespace report
 {
 
+/** Constant labels stamped onto every sample, in the given order. */
+using PrometheusLabels =
+    std::vector<std::pair<std::string, std::string>>;
+
 /** Render @p snap in the Prometheus text exposition format. */
 std::string toPrometheus(const trace::MetricsSnapshot &snap);
 
+/** As above, with @p labels attached to every sample (merged in front
+ * of the summary quantile label). */
+std::string toPrometheus(const trace::MetricsSnapshot &snap,
+                         const PrometheusLabels &labels);
+
 /** `voltboot_` + @p name with every non-alphanumeric mapped to `_`. */
 std::string prometheusName(const std::string &name);
+
+/** Escape @p value for use inside a label: `\` -> `\\`, `"` -> `\"`,
+ * newline -> `\n` (exposition format rules). */
+std::string escapeLabelValue(const std::string &value);
 
 } // namespace report
 } // namespace voltboot

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <map>
 
+#include "report/heartbeat.hh"
 #include "report/span_aggregator.hh"
 #include "report/trace_reader.hh"
 
@@ -142,6 +143,12 @@ buildTraceReport(std::span<const trace::TraceEvent> events,
     if (!agg.waveforms().empty()) {
         md += "## Domain voltage waveforms\n\n";
         md += agg.renderWaveforms();
+        md += "\n";
+    }
+
+    if (!agg.counterTracks().empty()) {
+        md += "## Counter tracks\n\n";
+        md += agg.renderCounterTracks();
         md += "\n";
     }
 
@@ -300,6 +307,30 @@ buildCampaignReport(const SweepDoc &sweep,
                       fmt("%.3f", stats.total_s * 1e6) + " | " +
                       fmt("%.3f", stats.self_s * 1e6) + " |\n";
             md += "\n";
+        }
+    }
+
+    // --- Heartbeat join (opt-in, non-canonical) -------------------
+    if (!opts.heartbeat_path.empty()) {
+        md += "## Throughput (heartbeat stream)\n\n";
+        const std::vector<Heartbeat> beats =
+            readHeartbeats(opts.heartbeat_path);
+        if (beats.empty()) {
+            md += "No heartbeat samples in `" + opts.heartbeat_path +
+                  "`.\n\n";
+        } else {
+            md += renderHeartbeatSummary(beats);
+            const Heartbeat &last = beats.back();
+            const uint64_t recorded = ok + attack_failed + errors;
+            md += "Final sample vs sweep result: " +
+                  std::to_string(last.completed) + " completed in "
+                  "heartbeats, " + std::to_string(recorded) +
+                  " recorded in the sweep (" +
+                  (last.completed == recorded
+                       ? std::string("exact match")
+                       : "within one snapshot interval of a killed "
+                         "run") +
+                  ").\n\n";
         }
     }
 

@@ -64,6 +64,10 @@ struct CampaignReportOptions
     /** Optional throughput baseline (BENCH_campaign.json). */
     const Baseline *baseline = nullptr;
 
+    /** Telemetry heartbeat JSONL (`sweep --heartbeat`) to join into
+     * the throughput section; empty skips it. */
+    std::string heartbeat_path;
+
     /** Invariant-check every joined trace; violations (and missing
      * trace files) become problems. */
     bool check = false;

@@ -73,15 +73,19 @@ SpanAggregate::build(std::span<const trace::TraceEvent> events)
 
         if (ev.phase != trace::Phase::Complete) {
             ++agg.event_counts_[key];
-            if (ev.phase == trace::Phase::Counter &&
-                ev.name.rfind(kVoltagePrefix, 0) == 0) {
+            if (ev.phase == trace::Phase::Counter) {
                 double v = 0.0;
                 for (const trace::Arg &arg : ev.args)
-                    if (arg.key == "v" && argNumber(arg, &v))
-                        agg.waveforms_[ev.name.substr(
-                                           std::string(kVoltagePrefix)
-                                               .size())]
-                            .push_back({ev.ts.seconds(), v});
+                    if (arg.key == "v" && argNumber(arg, &v)) {
+                        agg.counter_tracks_[key].push_back(
+                            {ev.ts.seconds(), v});
+                        if (ev.name.rfind(kVoltagePrefix, 0) == 0)
+                            agg.waveforms_[ev.name.substr(
+                                               std::string(
+                                                   kVoltagePrefix)
+                                                   .size())]
+                                .push_back({ev.ts.seconds(), v});
+                    }
             }
             continue;
         }
@@ -167,6 +171,32 @@ SpanAggregate::renderWaveforms() const
                std::to_string(samples.size()) + " | " + fmtVolts(lo) +
                " | " + fmtVolts(hi) + " | " +
                fmtVolts(samples.back().volts) + " |\n";
+    }
+    return out;
+}
+
+std::string
+SpanAggregate::renderCounterTracks() const
+{
+    std::string out;
+    out += "| track | samples | first | min | max | last |\n";
+    out += "|---|---:|---:|---:|---:|---:|\n";
+    auto fmt = [](double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%g", v);
+        return std::string(buf);
+    };
+    for (const auto &[key, samples] : counter_tracks_) {
+        double lo = samples.front().value;
+        double hi = samples.front().value;
+        for (const CounterSample &s : samples) {
+            lo = std::min(lo, s.value);
+            hi = std::max(hi, s.value);
+        }
+        out += "| `" + key + "` | " + std::to_string(samples.size()) +
+               " | " + fmt(samples.front().value) + " | " + fmt(lo) +
+               " | " + fmt(hi) + " | " + fmt(samples.back().value) +
+               " |\n";
     }
     return out;
 }

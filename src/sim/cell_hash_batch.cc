@@ -1,5 +1,7 @@
 #include "sim/cell_hash_batch.hh"
 
+#include "telemetry/counters.hh"
+
 #if defined(__x86_64__) && defined(__GNUC__) && \
     !defined(VOLTBOOT_DISABLE_AVX512)
 #include <immintrin.h>
@@ -231,6 +233,7 @@ void
 cellBitsBatch(const CellRng &rng, uint64_t cell0, uint64_t channel,
               unsigned n, uint64_t *out)
 {
+    telemetry::noteHashBatch(n);
 #if VOLTBOOT_X86_WIDE_LANES
     if (wideLanesSupported()) {
         cellBitsAvx512(rng.hashBase(), cell0, channel, n, out);
@@ -245,6 +248,7 @@ void
 cellBitsBatchIndexed(const CellRng &rng, const uint64_t *keys,
                      uint64_t channel, unsigned n, uint64_t *out)
 {
+    telemetry::noteHashBatch(n);
 #if VOLTBOOT_X86_WIDE_LANES
     if (wideLanesSupported()) {
         cellBitsIndexedAvx512(rng.hashBase(), keys, channel, n, out);
@@ -260,6 +264,7 @@ cellBandMaskBatch(const CellRng &rng, uint64_t cell0, uint64_t channel,
                   unsigned n, uint64_t band_lo, uint64_t band_hi,
                   uint64_t *in_band)
 {
+    telemetry::noteHashBatch(n);
 #if VOLTBOOT_X86_WIDE_LANES
     if (wideLanesSupported())
         return cellBandMaskAvx512(rng.hashBase(), cell0, channel, n,
@@ -280,6 +285,7 @@ uint64_t
 rawBucketBandMask(const uint32_t *buckets, unsigned n, uint64_t band_lo,
                   uint64_t band_hi, uint64_t *in_band)
 {
+    telemetry::noteHashBatch(n);
     // Bucket-domain edges. A lane is provably >= band_lo iff its
     // bucket strictly exceeds hi_b (then raw >= (hi_b+1)<<21 > hi >=
     // lo); provably below iff its bucket is under lo_b; everything in
@@ -317,6 +323,7 @@ uint64_t
 cellLsbMaskBatch(const CellRng &rng, uint64_t cell0, uint64_t channel,
                  unsigned n)
 {
+    telemetry::noteHashBatch(n);
 #if VOLTBOOT_X86_WIDE_LANES
     if (wideLanesSupported())
         return cellLsbMaskAvx512(rng.hashBase(), cell0, channel, n);

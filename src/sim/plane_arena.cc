@@ -1,5 +1,7 @@
 #include "sim/plane_arena.hh"
 
+#include "telemetry/counters.hh"
+
 namespace voltboot
 {
 
@@ -7,6 +9,8 @@ PlaneArena::Block &
 PlaneArena::growBlock(size_t at_least_words)
 {
     const size_t capacity = std::max(at_least_words, kMinBlockWords);
+    telemetry::add(telemetry::Counter::ArenaBytes,
+                   capacity * sizeof(uint64_t));
     Block block;
     block.words.reset(static_cast<uint64_t *>(::operator new[](
         capacity * sizeof(uint64_t), std::align_val_t{64})));

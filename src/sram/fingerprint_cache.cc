@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "sim/rng.hh"
+#include "telemetry/counters.hh"
 
 namespace voltboot
 {
@@ -85,6 +86,7 @@ evictOverBudgetLocked(Cache &c)
         c.index.erase(victim.first);
         c.lru.pop_back();
         ++c.stats.evictions;
+        telemetry::add(telemetry::Counter::FingerprintEvictions);
     }
 }
 
@@ -99,10 +101,12 @@ acquireFingerprintPlanes(const FingerprintKey &key,
         std::lock_guard<std::mutex> lock(c.mutex);
         if (auto it = c.index.find(key); it != c.index.end()) {
             ++c.stats.hits;
+            telemetry::add(telemetry::Counter::FingerprintHits);
             c.lru.splice(c.lru.begin(), c.lru, it->second);
             return it->second->second;
         }
         ++c.stats.misses;
+        telemetry::add(telemetry::Counter::FingerprintMisses);
     }
     // Build outside the lock: derivations are deterministic, so two
     // threads racing on the same key waste work but cannot disagree.

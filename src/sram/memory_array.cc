@@ -7,6 +7,7 @@
 #include "sim/cell_hash_batch.hh"
 #include "sim/logging.hh"
 #include "sram/retention_kernel.hh"
+#include "telemetry/counters.hh"
 #include "trace/trace.hh"
 
 namespace voltboot
@@ -178,6 +179,9 @@ template <typename SurvivesFn>
 void
 MemoryArray::applyLoss(SurvivesFn survives)
 {
+    // Invocation-granularity counts: one add per pass, never per cell.
+    telemetry::add(telemetry::Counter::KernelReference);
+    telemetry::add(telemetry::Counter::CellsProcessed, sizeBits());
     const uint64_t nonce = power_up_count_;
     uint64_t lost = 0;
     for (size_t byte = 0; byte < size_bytes_; ++byte) {
@@ -374,6 +378,10 @@ MemoryArray::applyLossFast(uint64_t channel,
                            RetentionModel::ThresholdBand band,
                            bool loss_at_or_above, ScalarDiesFn scalarDies)
 {
+    telemetry::add(cellHashBatchAccelerated()
+                       ? telemetry::Counter::KernelAvx512
+                       : telemetry::Counter::KernelScalar);
+    telemetry::add(telemetry::Counter::CellsProcessed, sizeBits());
     ensureFingerprint();
     const uint64_t nonce = power_up_count_;
     const CellRng &rng = model_.rng();
@@ -482,6 +490,7 @@ MemoryArray::applyLossFast(uint64_t channel,
         }
     }
     last_cells_lost_ = lost;
+    telemetry::drainHashStats();
 }
 
 void
@@ -509,6 +518,8 @@ MemoryArray::resolveAllToPowerUp()
         resolveAllToPowerUpFast();
         return;
     }
+    telemetry::add(telemetry::Counter::KernelReference);
+    telemetry::add(telemetry::Counter::CellsProcessed, sizeBits());
     ensureFingerprint();
     const uint64_t nonce = power_up_count_;
     bits_.copyFrom(planes_->fingerprint);
@@ -532,6 +543,10 @@ MemoryArray::resolveAllToPowerUp()
 void
 MemoryArray::resolveAllToPowerUpFast()
 {
+    telemetry::add(cellHashBatchAccelerated()
+                       ? telemetry::Counter::KernelAvx512
+                       : telemetry::Counter::KernelScalar);
+    telemetry::add(telemetry::Counter::CellsProcessed, sizeBits());
     ensureFingerprint();
     const uint64_t nonce = power_up_count_;
     if (nonce == 1) {
@@ -549,6 +564,7 @@ MemoryArray::resolveAllToPowerUpFast()
                          ? nullptr
                          : planes_->meta_cutoffs.data(),
                      planes_->meta_rank.data());
+    telemetry::drainHashStats();
 }
 
 void

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Lock-free hot-path campaign counters.
+ *
+ * A running campaign is a black box without live numbers, but the
+ * retention kernels advance hundreds of millions of cells per second —
+ * any instrumentation that takes a lock, touches a shared cache line
+ * per event, or allocates is out of the question. The scheme here:
+ *
+ *  - Each worker thread owns one cache-line-aligned CounterBlock of
+ *    relaxed std::atomic<uint64_t> slots for the lifetime of a
+ *    telemetry::WorkerScope. The thread is the *only writer* of its
+ *    block; the sampler thread only does relaxed loads. A counter
+ *    bump is therefore a single uncontended `lock add` on a line no
+ *    other writer ever dirties.
+ *  - Instrumented sites count at *kernel-invocation* granularity
+ *    (one add of size_bits per decay pass, not one per cell), so the
+ *    hot loops themselves are untouched. bench/retention_microbench
+ *    --overhead asserts the end-to-end cost stays under 2%.
+ *  - Per-batch events inside sim/cell_hash_batch are too frequent even
+ *    for an uncontended atomic; those bump plain (non-atomic)
+ *    thread-local tallies (~two instructions) which the owning kernel
+ *    drains into the atomic block once per invocation.
+ *
+ * The hot-path API (add / noteHashBatch / drainHashStats) is
+ * header-only and depends on nothing, so the layers below trace —
+ * sim, sram — can include it without a new library edge. When no
+ * WorkerScope is installed on the thread every add() is one
+ * thread-local load and a predictable branch. Registration and
+ * aggregation (WorkerScope, totals(), the sampler) live in
+ * counters.cc / monitor.cc in voltboot_telemetry.
+ *
+ * Counter values are wall-schedule facts (how much work this process
+ * did, on which code path) and are explicitly **non-canonical**: they
+ * never appear in trace files or campaign JSON/CSV records, only in
+ * the live /metrics + heartbeat surfaces. See docs/TELEMETRY.md.
+ */
+
+#ifndef VOLTBOOT_TELEMETRY_COUNTERS_HH
+#define VOLTBOOT_TELEMETRY_COUNTERS_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace voltboot
+{
+namespace telemetry
+{
+
+/** Every live counter the telemetry layer tracks. Append-only: the
+ * slot order is the wire order of heartbeats and /metrics. */
+enum class Counter : unsigned
+{
+    TrialsStarted,   ///< Trials a worker began executing.
+    TrialsCompleted, ///< Trials that finished (any non-skipped status).
+    TrialsFailed,    ///< Completed with status error / attack_failed.
+    TrialsWon,       ///< Completed with status ok.
+    TrialsSkipped,   ///< Marked skipped after an abort.
+    CellsProcessed,  ///< Cells advanced by retention-kernel passes.
+    KernelAvx512,    ///< Fast-kernel passes on the AVX-512 batch path.
+    KernelScalar,    ///< Fast-kernel passes on the scalar batch path.
+    KernelReference, ///< Reference (per-cell) kernel passes.
+    HashBatches,     ///< sim/cell_hash_batch entry-point calls.
+    HashLanes,       ///< Total lanes those calls produced.
+    FingerprintHits, ///< Fingerprint-plane cache hits.
+    FingerprintMisses,    ///< ... misses (plane derivations).
+    FingerprintEvictions, ///< ... LRU evictions.
+    ArenaBytes,      ///< Bytes of PlaneArena blocks allocated.
+    kCount
+};
+
+constexpr unsigned kCounterCount = static_cast<unsigned>(Counter::kCount);
+
+/** Stable snake_case name of @p c (the /metrics + heartbeat key). */
+const char *counterName(Counter c);
+
+/**
+ * One worker's counter slots. alignas(64) keeps blocks on their own
+ * cache lines so one worker's adds never bounce another's line
+ * (single-writer per block; the sampler only loads).
+ */
+struct alignas(64) CounterBlock
+{
+    std::atomic<uint64_t> slots[kCounterCount];
+};
+
+/** The current thread's block, or nullptr outside any WorkerScope. */
+inline thread_local CounterBlock *tl_block = nullptr;
+
+/** Add @p n to counter @p c on this thread's block; no-op (one
+ * thread-local load + branch) when telemetry is not installed. */
+inline void
+add(Counter c, uint64_t n = 1)
+{
+    if (CounterBlock *b = tl_block)
+        b->slots[static_cast<unsigned>(c)].fetch_add(
+            n, std::memory_order_relaxed);
+}
+
+/** Plain (non-atomic) tallies for events too frequent even for an
+ * uncontended atomic add. Bumped unconditionally — two instructions —
+ * and drained into the atomic block by the owning kernel. */
+struct HashStats
+{
+    uint64_t batches = 0;
+    uint64_t lanes = 0;
+};
+
+inline thread_local HashStats tl_hash_stats;
+
+/** One hash-batch entry point produced @p lanes values. */
+inline void
+noteHashBatch(unsigned lanes)
+{
+    ++tl_hash_stats.batches;
+    tl_hash_stats.lanes += lanes;
+}
+
+/** Move the thread's accumulated hash-batch tallies into its counter
+ * block (no-op without a WorkerScope; tallies then keep accruing
+ * harmlessly until one is installed). */
+inline void
+drainHashStats()
+{
+    if (tl_block == nullptr)
+        return;
+    HashStats &h = tl_hash_stats;
+    if (h.batches) {
+        add(Counter::HashBatches, h.batches);
+        add(Counter::HashLanes, h.lanes);
+        h = {};
+    }
+}
+
+/** Plain-value sum over every block ever handed out (live + retired
+ * workers). Values are monotonically non-decreasing between resets. */
+struct CounterTotals
+{
+    uint64_t v[kCounterCount] = {};
+
+    uint64_t
+    get(Counter c) const
+    {
+        return v[static_cast<unsigned>(c)];
+    }
+};
+
+/** Relaxed-sum every registered block. Callable from any thread. */
+CounterTotals totals();
+
+/** Zero every block and the retired totals (tests / between
+ * campaigns in one process). Not safe concurrently with workers. */
+void resetCounters();
+
+/**
+ * RAII: install a counter block on the current thread. Blocks come
+ * from a process-wide pool and survive the scope (their counts stay
+ * visible in totals() after the worker exits); a later scope reuses a
+ * pooled block and keeps adding to it, so totals stay monotonic.
+ * Scopes nest — the previous block is restored on exit.
+ */
+class WorkerScope
+{
+  public:
+    WorkerScope();
+    ~WorkerScope();
+    WorkerScope(const WorkerScope &) = delete;
+    WorkerScope &operator=(const WorkerScope &) = delete;
+
+  private:
+    CounterBlock *prev_;
+};
+
+} // namespace telemetry
+} // namespace voltboot
+
+#endif // VOLTBOOT_TELEMETRY_COUNTERS_HH

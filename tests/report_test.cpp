@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "campaign/trial_runner.hh"
 #include "power/power_domain.hh"
 #include "report/campaign_json.hh"
+#include "report/heartbeat.hh"
 #include "report/invariants.hh"
 #include "report/json.hh"
 #include "report/prometheus.hh"
@@ -703,6 +705,203 @@ TEST(Prometheus, RendersCountersGaugesAndSummaries)
         "voltboot_campaign_trial_wall_s_sum 4\n"
         "voltboot_campaign_trial_wall_s_count 8\n";
     EXPECT_EQ(report::toPrometheus(snap), expected);
+}
+
+TEST(Prometheus, EmptySnapshotRendersEmpty)
+{
+    EXPECT_EQ(report::toPrometheus(trace::MetricsSnapshot{}), "");
+}
+
+TEST(Prometheus, EscapesLabelValues)
+{
+    EXPECT_EQ(report::escapeLabelValue("plain"), "plain");
+    EXPECT_EQ(report::escapeLabelValue("a\\b"), "a\\\\b");
+    EXPECT_EQ(report::escapeLabelValue("say \"hi\""),
+              "say \\\"hi\\\"");
+    EXPECT_EQ(report::escapeLabelValue("line1\nline2"),
+              "line1\\nline2");
+    EXPECT_EQ(report::escapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(Prometheus, ConstantLabelsOnEverySample)
+{
+    trace::MetricsSnapshot snap;
+    snap.counters["c"] = 1;
+    snap.gauges["g"] = 2;
+    trace::HistogramSummary h;
+    h.count = 2;
+    h.mean = 1.0;
+    h.p50 = h.p90 = h.p99 = 1.0;
+    snap.histograms["h"] = h;
+
+    const report::PrometheusLabels labels = {
+        {"grid", "board=a\nseed=\"1\""}, {"job", "0"}};
+    const std::string expected =
+        "# TYPE voltboot_c counter\n"
+        "voltboot_c{grid=\"board=a\\nseed=\\\"1\\\"\",job=\"0\"} 1\n"
+        "# TYPE voltboot_g gauge\n"
+        "voltboot_g{grid=\"board=a\\nseed=\\\"1\\\"\",job=\"0\"} 2\n"
+        "# TYPE voltboot_h summary\n"
+        "voltboot_h{grid=\"board=a\\nseed=\\\"1\\\"\",job=\"0\","
+        "quantile=\"0.5\"} 1\n"
+        "voltboot_h{grid=\"board=a\\nseed=\\\"1\\\"\",job=\"0\","
+        "quantile=\"0.9\"} 1\n"
+        "voltboot_h{grid=\"board=a\\nseed=\\\"1\\\"\",job=\"0\","
+        "quantile=\"0.99\"} 1\n"
+        "voltboot_h_sum{grid=\"board=a\\nseed=\\\"1\\\"\",job=\"0\"} 2\n"
+        "voltboot_h_count{grid=\"board=a\\nseed=\\\"1\\\"\",job=\"0\"}"
+        " 2\n";
+    EXPECT_EQ(report::toPrometheus(snap, labels), expected);
+}
+
+TEST(Prometheus, NanAndInfRenderAsExpositionLiterals)
+{
+    trace::MetricsSnapshot snap;
+    snap.gauges["eta"] = std::numeric_limits<double>::quiet_NaN();
+    snap.gauges["hi"] = std::numeric_limits<double>::infinity();
+    snap.gauges["lo"] = -std::numeric_limits<double>::infinity();
+    const std::string out = report::toPrometheus(snap);
+    EXPECT_NE(out.find("voltboot_eta NaN\n"), std::string::npos);
+    EXPECT_NE(out.find("voltboot_hi +Inf\n"), std::string::npos);
+    EXPECT_NE(out.find("voltboot_lo -Inf\n"), std::string::npos);
+}
+
+TEST(Prometheus, ExpositionIsByteDeterministic)
+{
+    // Insertion order must not leak into the exposition: the snapshot
+    // maps are ordered, so two snapshots with the same contents render
+    // byte-identically regardless of how they were built.
+    trace::MetricsSnapshot a;
+    a.counters["z.last"] = 3;
+    a.counters["a.first"] = 1;
+    a.gauges["m.mid"] = 2;
+    trace::MetricsSnapshot b;
+    b.gauges["m.mid"] = 2;
+    b.counters["a.first"] = 1;
+    b.counters["z.last"] = 3;
+    const std::string ra = report::toPrometheus(a);
+    EXPECT_EQ(ra, report::toPrometheus(b));
+    // Counters render before gauges, names sorted within each kind.
+    EXPECT_LT(ra.find("voltboot_a_first"), ra.find("voltboot_z_last"));
+    EXPECT_LT(ra.find("voltboot_z_last"), ra.find("voltboot_m_mid"));
+}
+
+// --- heartbeat stream reader -----------------------------------------
+
+namespace
+{
+
+std::string
+heartbeatLine(uint64_t seq, bool final_sample, uint64_t completed,
+              double rate)
+{
+    std::ostringstream os;
+    os << "{\"schema\": \"voltboot-heartbeat-v1\", \"seq\": " << seq
+       << ", \"final\": " << (final_sample ? "true" : "false")
+       << ", \"campaign\": {\"seed\": 77, \"grid\": \"board=x\", "
+          "\"total_trials\": 24}"
+       << ", \"progress\": {\"started\": " << completed
+       << ", \"completed\": " << completed << ", \"won\": " << completed
+       << ", \"failed\": 0, \"skipped\": 0}"
+       << ", \"counters\": {\"trials_completed\": " << completed
+       << ", \"cells_processed\": " << completed * 1000 << "}"
+       << ", \"wall\": {\"unix_ms\": " << 1000000 + seq * 1000
+       << ", \"elapsed_s\": " << seq << ".0, \"trials_per_sec\": "
+       << rate << ", \"trials_per_sec_ewma\": " << rate
+       << ", \"eta_s\": 5.0}}";
+    return os.str();
+}
+
+} // namespace
+
+TEST(Heartbeat, ReadsStreamAndToleratesTornTail)
+{
+    const std::string dir = tempDir("heartbeat_read");
+    const std::string path = dir + "/hb.jsonl";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << heartbeatLine(1, false, 4, 4.0) << "\n";
+        out << "\n"; // blank line: skipped
+        out << "{\"schema\": \"something-else\", \"seq\": 9}\n";
+        out << heartbeatLine(2, false, 9, 5.0) << "\n";
+        out << heartbeatLine(3, true, 24, 5.5) << "\n";
+        // Torn tail write from a killed process: no newline, cut mid-
+        // object. Must be dropped without losing the lines before it.
+        out << "{\"schema\": \"voltboot-heartbeat-v1\", \"seq\": 4, ";
+    }
+    const std::vector<report::Heartbeat> beats =
+        report::readHeartbeats(path);
+    ASSERT_EQ(beats.size(), 3u);
+    EXPECT_EQ(beats[0].seq, 1u);
+    EXPECT_FALSE(beats[0].final_sample);
+    EXPECT_EQ(beats[0].campaign_seed, 77u);
+    EXPECT_EQ(beats[0].grid_spec, "board=x");
+    EXPECT_EQ(beats[0].total_trials, 24u);
+    EXPECT_EQ(beats[0].completed, 4u);
+    EXPECT_EQ(beats[0].counters.at("cells_processed"), 4000u);
+    EXPECT_DOUBLE_EQ(beats[1].trials_per_sec, 5.0);
+    EXPECT_TRUE(beats[2].final_sample);
+    EXPECT_EQ(beats[2].completed, 24u);
+    EXPECT_EQ(beats[2].unix_ms, 1003000u);
+
+    const std::string summary = report::renderHeartbeatSummary(beats);
+    EXPECT_NE(summary.find("clean shutdown"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Heartbeat, MissingFinalSampleReadsAsInterrupted)
+{
+    const std::string dir = tempDir("heartbeat_interrupted");
+    const std::string path = dir + "/hb.jsonl";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << heartbeatLine(1, false, 4, 4.0) << "\n";
+        out << heartbeatLine(2, false, 9, 5.0) << "\n";
+    }
+    const std::vector<report::Heartbeat> beats =
+        report::readHeartbeats(path);
+    ASSERT_EQ(beats.size(), 2u);
+    const std::string summary = report::renderHeartbeatSummary(beats);
+    EXPECT_NE(summary.find("interrupted"), std::string::npos);
+    EXPECT_EQ(summary.find("clean shutdown"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Heartbeat, EmptyStreamRendersEmpty)
+{
+    const std::string dir = tempDir("heartbeat_empty");
+    const std::string path = dir + "/hb.jsonl";
+    std::ofstream(path).close();
+    EXPECT_TRUE(report::readHeartbeats(path).empty());
+    EXPECT_EQ(report::renderHeartbeatSummary({}), "");
+    std::filesystem::remove_all(dir);
+}
+
+// --- counter tracks (campaign progress events) -----------------------
+
+TEST(SpanAggregator, CollectsGenericCounterTracks)
+{
+    std::vector<trace::TraceEvent> events;
+    for (int i = 0; i < 3; ++i) {
+        trace::TraceEvent e;
+        e.phase = trace::Phase::Counter;
+        e.category = "campaign";
+        e.name = "progress.done";
+        e.ts = Seconds(static_cast<double>(i));
+        e.args.push_back(trace::Arg("v", 4 * (i + 1)));
+        events.push_back(e);
+    }
+    const report::SpanAggregate agg =
+        report::SpanAggregate::build(events);
+    ASSERT_EQ(agg.counterTracks().count("campaign/progress.done"), 1u);
+    const auto &track =
+        agg.counterTracks().at("campaign/progress.done");
+    ASSERT_EQ(track.size(), 3u);
+    EXPECT_DOUBLE_EQ(track[0].value, 4.0);
+    EXPECT_DOUBLE_EQ(track[2].value, 12.0);
+    EXPECT_DOUBLE_EQ(track[2].ts_s, 2.0);
+    const std::string md = agg.renderCounterTracks();
+    EXPECT_NE(md.find("campaign/progress.done"), std::string::npos);
 }
 
 // --- campaign JSON parsing -------------------------------------------

@@ -37,7 +37,14 @@
  *   --csv FILE                write results as CSV
  *   --timing                  include wall-clock section in the JSON
  *   --trace-dir DIR           one deterministic JSONL trace per trial
+ *                             (plus a non-canonical progress.jsonl)
  *   --metrics FILE            write the engine metrics snapshot
+ *   --metrics-port N          live /metrics | /healthz | /progress HTTP
+ *                             endpoints while the sweep runs (0 picks an
+ *                             ephemeral port, printed at startup)
+ *   --heartbeat FILE          append one telemetry JSONL line per
+ *                             sampling interval (crash-tolerant)
+ *   --telemetry-interval S    sampler cadence (default 1 s)
  *   --retention-path PATH     retention kernel, as for attack/coldboot
  *
  * Trace files are deterministic (simulation-time stamps only); metrics
@@ -47,12 +54,16 @@
  * hint and a non-zero exit code.
  */
 
+#include <atomic>
 #include <charconv>
+#include <csignal>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -63,7 +74,11 @@
 #include "report/invariants.hh"
 #include "report/prometheus.hh"
 #include "report/report.hh"
+#include "report/heartbeat.hh"
 #include "report/trace_reader.hh"
+#include "telemetry/counters.hh"
+#include "telemetry/http_server.hh"
+#include "telemetry/monitor.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
 #include "core/analysis.hh"
@@ -408,6 +423,9 @@ struct SweepOptions
     bool list_axes = false; // print the axis table and exit
     std::string trace_dir; // per-trial JSONL traces, empty = off
     std::string metrics;   // engine metrics snapshot, empty = off
+    int metrics_port = -1; // /metrics HTTP port; -1 = off, 0 = ephemeral
+    std::string heartbeat; // heartbeat JSONL stream, empty = off
+    double telemetry_interval_s = 1.0; // sampler cadence
 };
 
 SweepOptions
@@ -443,7 +461,18 @@ parseSweep(int argc, char **argv, int first)
             o.trace_dir = value();
         else if (flag == "--metrics")
             o.metrics = value();
-        else if (flag == "--list-axes")
+        else if (flag == "--metrics-port") {
+            const uint64_t port = parseUint(flag, value());
+            if (port > 65535)
+                usageFatal("--metrics-port out of range: ", port);
+            o.metrics_port = static_cast<int>(port);
+        } else if (flag == "--heartbeat")
+            o.heartbeat = value();
+        else if (flag == "--telemetry-interval") {
+            o.telemetry_interval_s = parseDouble(flag, value());
+            if (o.telemetry_interval_s <= 0.0)
+                usageFatal("--telemetry-interval must be positive");
+        } else if (flag == "--list-axes")
             o.list_axes = true;
         else
             usageFatal("unknown option ", flag);
@@ -452,6 +481,54 @@ parseSweep(int argc, char **argv, int first)
         usageFatal("sweep requires --grid SPEC (or --grid FILE, or "
                    "--attack NAME for the default grid)");
     return o;
+}
+
+/** The campaign the SIGINT/SIGTERM handler aborts, when one is live. */
+std::atomic<Campaign *> g_signal_campaign{nullptr};
+
+/**
+ * First ^C: request a graceful abort — remaining trials are marked
+ * skipped, the run unwinds normally, and the tail code still flushes
+ * metrics and the final heartbeat. requestAbort() is one relaxed
+ * atomic store, so this is async-signal-safe. A second ^C hits the
+ * default handler (restored after the run) and force-kills.
+ */
+void
+abortSignalHandler(int)
+{
+    if (Campaign *campaign =
+            g_signal_campaign.load(std::memory_order_relaxed))
+        campaign->requestAbort();
+}
+
+/** Axes of @p grid that actually vary, slowest-varying first (the
+ * SweepGrid::at() decode order), for /progress completion. */
+std::vector<telemetry::AxisDesc>
+monitorAxes(const SweepGrid &grid)
+{
+    const std::pair<const char *, uint64_t> all[] = {
+        {"board", grid.boards.size()},
+        {"target", grid.targets.size()},
+        {"attack", grid.attacks.size()},
+        {"temp", grid.temps_c.size()},
+        {"off-ms", grid.offs_ms.size()},
+        {"current", grid.currents_a.size()},
+        {"impedance-mohm", grid.impedances_mohm.size()},
+        {"glitch-off-ns", grid.glitch_offs_ns.size()},
+        {"glitch-width-ns", grid.glitch_widths_ns.size()},
+        {"glitch-depth", grid.glitch_depths_v.size()},
+        {"undervolt-depth", grid.undervolt_depths_v.size()},
+        {"hold-ns", grid.holds_ns.size()},
+        {"readout-rate", grid.readout_rates.size()},
+        {"cpa-window-ns", grid.cpa_windows_ns.size()},
+        {"key", grid.plant_key.size()},
+        {"seeds", grid.seed_count},
+    };
+    std::vector<telemetry::AxisDesc> axes;
+    for (const auto &[name, size] : all)
+        if (size > 1)
+            axes.push_back({name, size});
+    return axes;
 }
 
 int
@@ -480,23 +557,108 @@ cmdSweep(const SweepOptions &o)
     cfg.jobs = o.jobs;
     cfg.seed = o.seed;
     cfg.trace_dir = o.trace_dir;
-    if (!o.quiet) {
+    const bool tracing = !o.trace_dir.empty();
+    // Campaign progress doubles as a counter-event source: with a
+    // trace dir, each report lands as `campaign/progress.*` Counter
+    // events in <trace-dir>/progress.jsonl. The stream is wall-clock
+    // timed and non-canonical; per-trial traces stay deterministic.
+    std::vector<trace::TraceEvent> progress_events;
+    if (!o.quiet || tracing) {
         // Report every progress_every trials and at least every two
         // seconds, so slow grids (imx53 iRAM) still show life.
         cfg.progress_interval = Seconds(2.0);
-        cfg.progress = [](const CampaignProgress &p) {
-            std::fprintf(stderr,
-                         "\r%llu/%llu trials  %.1f trials/s  ETA %.0fs ",
-                         static_cast<unsigned long long>(p.done),
-                         static_cast<unsigned long long>(p.total),
-                         p.trials_per_sec, p.eta_s);
-            if (p.done == p.total)
-                std::fprintf(stderr, "\n");
+        cfg.progress = [&progress_events, quiet = o.quiet,
+                        tracing](const CampaignProgress &p) {
+            if (tracing) {
+                // Serialized by the campaign's progress lock.
+                auto counterEvent = [&](const char *name, double v) {
+                    trace::TraceEvent ev;
+                    ev.phase = trace::Phase::Counter;
+                    ev.category = "campaign";
+                    ev.name = name;
+                    ev.ts = Seconds(p.elapsed_s);
+                    ev.args.push_back(
+                        {"v", v});
+                    progress_events.push_back(std::move(ev));
+                };
+                counterEvent("progress.done",
+                             static_cast<double>(p.done));
+                counterEvent("progress.trials_per_sec",
+                             p.trials_per_sec);
+                counterEvent("progress.eta_s", p.eta_s);
+            }
+            if (!quiet) {
+                std::fprintf(
+                    stderr,
+                    "\r%llu/%llu trials  %.1f trials/s  ETA %.0fs ",
+                    static_cast<unsigned long long>(p.done),
+                    static_cast<unsigned long long>(p.total),
+                    p.trials_per_sec, p.eta_s);
+                if (p.done == p.total)
+                    std::fprintf(stderr, "\n");
+            }
         };
     }
 
+    // Live telemetry: sampler + optional heartbeat stream + optional
+    // /metrics endpoint. Counters are process-wide, so start from zero
+    // for this sweep.
+    telemetry::resetCounters();
+    telemetry::MonitorConfig mcfg;
+    mcfg.interval_s = o.telemetry_interval_s;
+    mcfg.total_trials = grid.size();
+    mcfg.campaign_seed = o.seed;
+    mcfg.grid_spec = grid.describe();
+    mcfg.axes = monitorAxes(grid);
+    mcfg.heartbeat_path = o.heartbeat;
+    telemetry::CampaignMonitor monitor(mcfg);
+    const bool monitoring = o.metrics_port >= 0 || !o.heartbeat.empty();
+    if (monitoring)
+        monitor.start();
+
+    std::unique_ptr<telemetry::HttpServer> server;
+    if (o.metrics_port >= 0) {
+        server = std::make_unique<telemetry::HttpServer>(
+            static_cast<uint16_t>(o.metrics_port),
+            [&monitor](const std::string &path) {
+                telemetry::HttpResponse resp;
+                if (path == "/metrics") {
+                    resp.content_type =
+                        "text/plain; version=0.0.4; charset=utf-8";
+                    resp.body =
+                        report::toPrometheus(monitor.metricsSnapshot());
+                } else if (path == "/healthz") {
+                    resp.body = "ok\n";
+                } else if (path == "/progress") {
+                    resp.content_type = "application/json";
+                    resp.body = monitor.progressJson();
+                } else {
+                    resp.status = 404;
+                    resp.body = "unknown endpoint " + path + "\n";
+                }
+                return resp;
+            });
+        std::cout << "telemetry: serving /metrics /healthz /progress "
+                     "on port "
+                  << server->port() << "\n";
+    }
+
     Campaign campaign(std::move(grid), std::move(cfg));
+    g_signal_campaign.store(&campaign, std::memory_order_relaxed);
+    std::signal(SIGINT, abortSignalHandler);
+    std::signal(SIGTERM, abortSignalHandler);
     const CampaignResult result = campaign.run();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_signal_campaign.store(nullptr, std::memory_order_relaxed);
+
+    // Final sample + heartbeat (flagged `"final": true`) before any
+    // result files are written, so a consumer tailing the stream sees
+    // the end of the run as soon as the campaign is over.
+    if (monitoring)
+        monitor.stop();
+    if (server)
+        server->stop();
     const CampaignSummary s = result.summary();
 
     TextTable t({"trials", "ok", "attack failed", "errors", "skipped",
@@ -528,9 +690,19 @@ cmdSweep(const SweepOptions &o)
         CampaignResult::writeFile(o.out_csv, result.toCsv());
         std::cout << "wrote " << o.out_csv << "\n";
     }
-    if (!o.trace_dir.empty())
+    if (!o.trace_dir.empty()) {
         std::cout << "wrote " << s.trials << " trial traces to "
                   << o.trace_dir << "\n";
+        if (!progress_events.empty()) {
+            const std::string path =
+                (std::filesystem::path(o.trace_dir) / "progress.jsonl")
+                    .string();
+            CampaignResult::writeFile(
+                path, trace::toJsonl(progress_events));
+            std::cout << "wrote " << path << " ("
+                      << progress_events.size() << " progress events)\n";
+        }
+    }
     if (!o.metrics.empty())
         writeOutput(o.metrics, result.metrics.toJson() + "\n");
     return s.errors || s.skipped ? 1 : 0;
@@ -543,6 +715,7 @@ struct ReportOptions
     std::string out = "-";
     std::string trace_dir; // campaign only
     std::string baseline;  // campaign only
+    std::string heartbeat; // campaign only: join a heartbeat stream
     std::string format = "md"; // md | prom (campaign only)
     bool check = false;
     bool cpa = false; // trace only: run the CPA key-recovery analyzer
@@ -568,6 +741,8 @@ parseReport(int argc, char **argv, int first)
             o.trace_dir = value();
         else if (flag == "--baseline")
             o.baseline = value();
+        else if (flag == "--heartbeat")
+            o.heartbeat = value();
         else if (flag == "--format")
             o.format = value();
         else if (flag == "--check")
@@ -600,6 +775,8 @@ parseReport(int argc, char **argv, int first)
             usageFatal("--trace-dir is only valid for report campaign");
         if (!o.baseline.empty())
             usageFatal("--baseline is only valid for report campaign");
+        if (!o.heartbeat.empty())
+            usageFatal("--heartbeat is only valid for report campaign");
         if (o.format == "prom")
             usageFatal("--format prom is only valid for report "
                        "campaign");
@@ -653,6 +830,7 @@ cmdReport(const ReportOptions &o)
     report::CampaignReportOptions opts;
     opts.trace_dir = o.trace_dir;
     opts.check = o.check;
+    opts.heartbeat_path = o.heartbeat;
     opts.regression_threshold = o.regress_threshold;
     if (!o.baseline.empty()) {
         baseline = report::readBaselineFile(o.baseline);
@@ -703,7 +881,17 @@ usage(std::ostream &out)
            "[--timing] [--quiet]\n"
            "           [--trace-dir DIR] [--metrics FILE] "
            "[--list-axes]\n"
+           "           [--metrics-port N] [--heartbeat FILE.jsonl]\n"
+           "           [--telemetry-interval SECONDS]\n"
            "           [--retention-path fast|fast-cached|reference]\n"
+           "           --metrics-port serves live /metrics /healthz "
+           "/progress\n"
+           "           over HTTP while the sweep runs (0 = ephemeral "
+           "port);\n"
+           "           --heartbeat appends one telemetry JSONL line "
+           "per\n"
+           "           interval (crash-tolerant; see "
+           "docs/TELEMETRY.md).\n"
            "           grid SPEC example: "
            "\"board=pi4;attack=coldboot;temp=-80,-40;off-ms=5,50;"
            "seeds=8\"\n"
@@ -720,8 +908,9 @@ usage(std::ostream &out)
            "[--cpa-window-ns N]\n"
            "           [--out FILE|-]\n"
            "  report   campaign SWEEP.json [--trace-dir DIR]\n"
-           "           [--baseline BENCH.json] [--format md|prom] "
-           "[--check]\n"
+           "           [--baseline BENCH.json] [--heartbeat "
+           "FILE.jsonl]\n"
+           "           [--format md|prom] [--check]\n"
            "           [--regress-threshold X] [--out FILE|-]\n"
            "  `-` as an output path (--out, --metrics) writes to "
            "stdout.\n";
