@@ -13,12 +13,14 @@
  */
 
 #include <iostream>
+#include <optional>
+#include <utility>
 
 #include "bench_util.hh"
 #include "core/analysis.hh"
 #include "core/attack.hh"
-#include "crypto/key_finder.hh"
 #include "crypto/onchip_crypto.hh"
+#include "keyfind/engine.hh"
 #include "os/baremetal.hh"
 #include "sim/rng.hh"
 #include "soc/soc.hh"
@@ -49,8 +51,20 @@ main()
     attack.execute();
     const MemoryImage dump = attack.dumpL1(0, L1Ram::DData);
 
-    KeyFinder finder;
-    const auto hit = finder.best(dump);
+    // Scan-only engine run: bit-identical to the old KeyFinder sweep,
+    // but through the batched residual filter.
+    keyfind::KeyRecoveryConfig ecfg;
+    ecfg.run_correction = false;
+    const keyfind::KeyRecoveryEngine engine(ecfg);
+    const auto best = [&](const MemoryImage &image)
+        -> std::optional<KeyCandidate> {
+        auto report = engine.recover(image);
+        if (report.scan_hits.empty())
+            return std::nullopt;
+        return std::move(report.scan_hits.front());
+    };
+
+    const auto hit = best(dump);
     std::cout << "Volt Boot dump (" << dump.sizeBytes()
               << " bytes): " << (hit ? "KEY RECOVERED" : "no key") << "\n";
     if (hit) {
@@ -78,7 +92,7 @@ main()
                 for (int bit = 0; bit < 8; ++bit)
                     if (rng.uniform() < ber)
                         b ^= 1u << bit;
-            const auto cand = finder.best(MemoryImage(std::move(noisy)));
+            const auto cand = best(MemoryImage(std::move(noisy)));
             if (cand) {
                 ++found;
                 exact += cand->key == key;

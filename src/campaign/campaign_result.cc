@@ -58,6 +58,10 @@ CampaignResult::summary() const
             ++s.coupling_trials;
             s.cpa_key_bytes += r.cpa_recovered;
         }
+        if (r.spec.attack == AttackKind::KeyRecovery) {
+            ++s.keyrecovery_trials;
+            s.keyrecovery_exact += r.key_exact;
+        }
     }
     return s;
 }
@@ -170,7 +174,11 @@ CampaignResult::toJson(bool include_timing) const
     out += "    \"coupling_trials\": " +
            std::to_string(s.coupling_trials) + ",\n";
     out += "    \"cpa_key_bytes\": " + std::to_string(s.cpa_key_bytes) +
-           "\n";
+           ",\n";
+    out += "    \"keyrecovery_trials\": " +
+           std::to_string(s.keyrecovery_trials) + ",\n";
+    out += "    \"keyrecovery_exact\": " +
+           std::to_string(s.keyrecovery_exact) + "\n";
     out += "  },\n";
     out += "  \"records\": [\n";
     for (size_t i = 0; i < records.size(); ++i) {
@@ -195,6 +203,9 @@ CampaignResult::toJson(bool include_timing) const
         out += ", \"hold_ns\": " + jsonNumber(r.spec.hold_ns);
         out += ", \"readout_rate\": " + jsonNumber(r.spec.readout_rate);
         out += ", \"cpa_window_ns\": " + jsonNumber(r.spec.cpa_window_ns);
+        out += ", \"dump_count\": " + std::to_string(r.spec.dump_count);
+        out += ", \"use_priors\": ";
+        out += jsonBool(r.spec.use_priors);
         out += ", \"chip_seed\": " + std::to_string(r.chip_seed);
         out += ", \"status\": " + jsonString(toString(r.status));
         out += ", \"detail\": " + jsonString(r.detail);
@@ -221,6 +232,16 @@ CampaignResult::toJson(bool include_timing) const
         out += jsonBool(r.se_zeroized);
         out += ", \"se_read_fraction\": " + jsonNumber(r.se_read_fraction);
         out += ", \"cpa_recovered\": " + std::to_string(r.cpa_recovered);
+        out += ", \"kr_scan_hits\": " + std::to_string(r.kr_scan_hits);
+        out += ", \"kr_corrected_hits\": " +
+               std::to_string(r.kr_corrected_hits);
+        out += ", \"kr_bit_errors\": " + std::to_string(r.kr_bit_errors);
+        out += ", \"kr_key_bits_flipped\": " +
+               std::to_string(r.kr_key_bits_flipped);
+        out += ", \"kr_correction_iterations\": " +
+               std::to_string(r.kr_correction_iterations);
+        out += ", \"kr_disagreeing_bits\": " +
+               std::to_string(r.kr_disagreeing_bits);
         out += "}";
         out += (i + 1 < records.size()) ? ",\n" : "\n";
     }
@@ -250,11 +271,13 @@ CampaignResult::toCsv() const
         "index,board,target,attack,temp_c,off_ms,current_a,"
         "impedance_mohm,seed_index,glitch_off_ns,glitch_width_ns,"
         "glitch_depth_v,undervolt_depth_v,hold_ns,readout_rate,"
-        "cpa_window_ns,chip_seed,status,probe_attached,"
-        "booted,dump_bytes,accuracy,bit_error_rate,key_planted,"
-        "key_found,key_exact,glitch_faults,glitch_effect,"
+        "cpa_window_ns,dump_count,use_priors,chip_seed,status,"
+        "probe_attached,booted,dump_bytes,accuracy,bit_error_rate,"
+        "key_planted,key_found,key_exact,glitch_faults,glitch_effect,"
         "glitch_bypassed,se_frozen,se_zeroized,se_read_fraction,"
-        "cpa_recovered,detail\n";
+        "cpa_recovered,kr_scan_hits,kr_corrected_hits,kr_bit_errors,"
+        "kr_key_bits_flipped,kr_correction_iterations,"
+        "kr_disagreeing_bits,detail\n";
     for (const TrialRecord &r : records) {
         out += std::to_string(r.spec.index) + ',';
         out += csvEscape(r.spec.board) + ',';
@@ -272,6 +295,8 @@ CampaignResult::toCsv() const
         out += jsonNumber(r.spec.hold_ns) + ',';
         out += jsonNumber(r.spec.readout_rate) + ',';
         out += jsonNumber(r.spec.cpa_window_ns) + ',';
+        out += std::to_string(r.spec.dump_count) + ',';
+        out += std::to_string(r.spec.use_priors) + ',';
         out += std::to_string(r.chip_seed) + ',';
         out += std::string(toString(r.status)) + ',';
         out += std::to_string(r.probe_attached) + ',';
@@ -292,6 +317,12 @@ CampaignResult::toCsv() const
         out += std::to_string(r.se_zeroized) + ',';
         out += jsonNumber(r.se_read_fraction) + ',';
         out += std::to_string(r.cpa_recovered) + ',';
+        out += std::to_string(r.kr_scan_hits) + ',';
+        out += std::to_string(r.kr_corrected_hits) + ',';
+        out += std::to_string(r.kr_bit_errors) + ',';
+        out += std::to_string(r.kr_key_bits_flipped) + ',';
+        out += std::to_string(r.kr_correction_iterations) + ',';
+        out += std::to_string(r.kr_disagreeing_bits) + ',';
         out += csvEscape(r.detail) + '\n';
     }
     return out;

@@ -88,6 +88,18 @@ struct TrialRecord
      * cleared the confidence threshold. */
     uint64_t cpa_recovered = 0;
 
+    /** KeyRecovery trials: keyfind engine outcome (deterministic). */
+    uint64_t kr_scan_hits = 0;      ///< Exact-scan schedule hits.
+    uint64_t kr_corrected_hits = 0; ///< Correction-scan hits.
+    /** Residual schedule bit errors of the best hit (0 when none). */
+    uint64_t kr_bit_errors = 0;
+    /** Key bits the corrector flipped for the best corrected hit. */
+    uint64_t kr_key_bits_flipped = 0;
+    /** Local-search iterations the correction stage spent in total. */
+    uint64_t kr_correction_iterations = 0;
+    /** Bits that disagreed across the trial's fused dumps. */
+    uint64_t kr_disagreeing_bits = 0;
+
     /** Wall-clock cost; timing only, never in canonical output. */
     double duration_s = 0.0;
     /** The trial overran CampaignConfig::trial_timeout (timing only). */
@@ -123,6 +135,10 @@ struct CampaignSummary
     /** Voltage-coupling trials run / confident CPA key bytes summed. */
     uint64_t coupling_trials = 0;
     uint64_t cpa_key_bytes = 0;
+
+    /** Key-recovery trials run / exact keys recovered among them. */
+    uint64_t keyrecovery_trials = 0;
+    uint64_t keyrecovery_exact = 0;
 };
 
 /** Everything a campaign produced. */

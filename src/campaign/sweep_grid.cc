@@ -17,6 +17,7 @@ toString(AttackKind kind)
       case AttackKind::Glitch: return "glitch";
       case AttackKind::StaticExtract: return "static-extract";
       case AttackKind::VoltageCoupling: return "voltage-coupling";
+      case AttackKind::KeyRecovery: return "key-recovery";
     }
     panic("bad AttackKind");
 }
@@ -48,8 +49,11 @@ attackFromString(const std::string &name)
         return AttackKind::StaticExtract;
     if (name == "voltage-coupling")
         return AttackKind::VoltageCoupling;
+    if (name == "key-recovery")
+        return AttackKind::KeyRecovery;
     fatal("unknown attack '", name,
-          "' (voltboot|coldboot|glitch|static-extract|voltage-coupling)");
+          "' (voltboot|coldboot|glitch|static-extract|voltage-coupling|"
+          "key-recovery)");
 }
 
 TargetRam
@@ -80,7 +84,8 @@ SweepGrid::size() const
            glitch_offs_ns.size() * glitch_widths_ns.size() *
            glitch_depths_v.size() * undervolt_depths_v.size() *
            holds_ns.size() * readout_rates.size() *
-           cpa_windows_ns.size() * plant_key.size() * seed_count;
+           cpa_windows_ns.size() * dump_counts.size() *
+           use_priors.size() * plant_key.size() * seed_count;
 }
 
 TrialSpec
@@ -100,6 +105,8 @@ SweepGrid::at(uint64_t index) const
     // Fastest-varying axis first (seed innermost, board outermost).
     spec.seed_index = take(static_cast<size_t>(seed_count));
     spec.plant_key = plant_key[take(plant_key.size())];
+    spec.use_priors = use_priors[take(use_priors.size())];
+    spec.dump_count = dump_counts[take(dump_counts.size())];
     spec.cpa_window_ns = cpa_windows_ns[take(cpa_windows_ns.size())];
     spec.readout_rate = readout_rates[take(readout_rates.size())];
     spec.hold_ns = holds_ns[take(holds_ns.size())];
@@ -262,6 +269,23 @@ SweepGrid::parse(const std::string &spec)
             grid.readout_rates = parseDoubleList(value, "readout-rate");
         } else if (key == "cpa-window-ns") {
             grid.cpa_windows_ns = parseDoubleList(value, "cpa-window-ns");
+        } else if (key == "dumps") {
+            grid.dump_counts.clear();
+            for (const std::string &d : split(value, ',')) {
+                const uint64_t v = parseUintStrict(d, "dumps");
+                if (v == 0)
+                    fatal("grid key 'dumps' values must be >= 1");
+                grid.dump_counts.push_back(v);
+            }
+        } else if (key == "prior") {
+            grid.use_priors.clear();
+            for (const std::string &p : split(value, ',')) {
+                const uint64_t v = parseUintStrict(p, "prior");
+                if (v > 1)
+                    fatal("grid key 'prior' takes 0 or 1, got '", p,
+                          "'");
+                grid.use_priors.push_back(v != 0);
+            }
         } else if (key == "key") {
             grid.plant_key.clear();
             for (const std::string &k : split(value, ',')) {
@@ -279,7 +303,7 @@ SweepGrid::parse(const std::string &spec)
                   "' (board|target|attack|temp|off-ms|current|"
                   "impedance-mohm|glitch-off-ns|glitch-width-ns|"
                   "glitch-depth|undervolt-depth|hold-ns|readout-rate|"
-                  "cpa-window-ns|key|seeds)");
+                  "cpa-window-ns|dumps|prior|key|seeds)");
         }
     }
     if (grid.size() == 0)
@@ -310,6 +334,12 @@ SweepGrid::describe() const
     out += ";hold-ns=" + joinDoubles(holds_ns);
     out += ";readout-rate=" + joinDoubles(readout_rates);
     out += ";cpa-window-ns=" + joinDoubles(cpa_windows_ns);
+    out += ";dumps=";
+    for (size_t i = 0; i < dump_counts.size(); ++i)
+        out += std::string(i ? "," : "") + std::to_string(dump_counts[i]);
+    out += ";prior=";
+    for (size_t i = 0; i < use_priors.size(); ++i)
+        out += std::string(i ? "," : "") + (use_priors[i] ? "1" : "0");
     out += ";key=";
     for (size_t i = 0; i < plant_key.size(); ++i)
         out += std::string(i ? "," : "") + (plant_key[i] ? "1" : "0");
@@ -343,6 +373,8 @@ SweepGrid::axesHelp()
         {"hold-ns", "ns", "0", "undervolt hold time at the floor"},
         {"readout-rate", "B/us", "0", "frozen readout bandwidth (0 = unlimited)"},
         {"cpa-window-ns", "ns", "0", "CPA correlation window (0 = full block)"},
+        {"dumps", "count", "1", "power-cycle dumps fused per key-recovery trial"},
+        {"prior", "0|1", "0", "guide key correction by DRV decay priors"},
         {"key", "0|1", "0", "plant + scan an AES-128 schedule"},
         {"seeds", "count", "1", "chip-seed replication axis"},
     };
@@ -363,7 +395,8 @@ SweepGrid::axesHelp()
            "above from bottom to top.\nGlitch axes apply to "
            "attack=glitch trials only; undervolt-depth, hold-ns\nand "
            "readout-rate to attack=static-extract; cpa-window-ns to\n"
-           "attack=voltage-coupling.\n";
+           "attack=voltage-coupling; dumps and prior to "
+           "attack=key-recovery.\n";
     return out;
 }
 

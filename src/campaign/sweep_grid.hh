@@ -32,6 +32,7 @@ enum class AttackKind
     Glitch,          ///< Crowbar the core rail mid-signature-check.
     StaticExtract,   ///< Undervolt below brown-out, freeze, read out.
     VoltageCoupling, ///< CPA on rail dips coupled from AES activity.
+    KeyRecovery,     ///< Cold-boot dumps through the keyfind engine.
 };
 
 /** Which memory the trial extracts and scores. */
@@ -76,6 +77,10 @@ struct TrialSpec
 
     /** CPA knob (VoltageCoupling trials; 0 = full block window). */
     double cpa_window_ns = 0.0;
+
+    /** Key-recovery knobs (KeyRecovery trials only). */
+    uint64_t dump_count = 1; ///< Power-cycle dumps fused per trial.
+    bool use_priors = false; ///< Guide correction by DRV decay priors.
 };
 
 /**
@@ -116,6 +121,12 @@ class SweepGrid
     std::vector<double> readout_rates{0.0};
     std::vector<double> cpa_windows_ns{0.0};
 
+    /** Key-recovery axes; single-element defaults keep existing grids'
+     * trial indices untouched. Vary faster than cpa-window-ns and
+     * slower than the key axis. */
+    std::vector<uint64_t> dump_counts{1};
+    std::vector<bool> use_priors{false};
+
     /** Number of trials in the grid (product of axis sizes). */
     uint64_t size() const;
 
@@ -128,7 +139,7 @@ class SweepGrid
      * numbers are fatal(). Keys: board, target, attack, temp, off-ms,
      * current, impedance-mohm, glitch-off-ns, glitch-width-ns,
      * glitch-depth, undervolt-depth, hold-ns, readout-rate,
-     * cpa-window-ns, key, seeds.
+     * cpa-window-ns, dumps, prior, key, seeds.
      */
     static SweepGrid parse(const std::string &spec);
 

@@ -5,6 +5,7 @@
 #include "core/attack.hh"
 #include "crypto/key_finder.hh"
 #include "crypto/onchip_crypto.hh"
+#include "keyfind/engine.hh"
 #include "os/baremetal.hh"
 #include "os/workloads.hh"
 #include "report/trace_reader.hh"
@@ -253,6 +254,86 @@ runTrial(const TrialSpec &spec, uint64_t campaign_seed)
         rec.bit_error_rate = 1.0 - rec.accuracy;
         if (out.crashed)
             rec.detail = out.crash_reason;
+        rec.status = TrialStatus::Ok;
+        return rec;
+    }
+
+    if (spec.attack == AttackKind::KeyRecovery) {
+        // Multi-dump cold-boot recovery through the keyfind engine:
+        // the same CaSE key schedule is restaged before every power
+        // cycle (the device's storage key is fixed across boots), so
+        // each dump is an independent decay observation of one secret
+        // and fusion has real evidence to vote over.
+        if (spec.target != TargetRam::DCache)
+            fatal("key-recovery supports dcache only, not ",
+                  toString(spec.target));
+        std::vector<uint8_t> key(16);
+        for (auto &b : key)
+            b = static_cast<uint8_t>(rng.next());
+        const std::vector<uint8_t> binary(256, 0x90);
+        const auto stage = [&] {
+            Cache &l1d = soc.memory().l1d(0);
+            l1d.invalidateAll();
+            l1d.setEnabled(true);
+            CaseExecution cas(l1d, soc.config().dram_base + 0x40000,
+                              binary, key);
+            return l1d.dumpAll();
+        };
+        const MemoryImage truth = stage();
+        std::vector<MemoryImage> dumps;
+        dumps.reserve(spec.dump_count);
+        for (uint64_t d = 0; d < spec.dump_count; ++d) {
+            if (d > 0)
+                stage();
+            ColdBootAttack attack(soc,
+                                  Temperature::celsius(spec.temp_c),
+                                  Seconds::milliseconds(spec.off_ms));
+            if (!attack.powerCycleAndBoot()) {
+                rec.status = TrialStatus::AttackFailed;
+                rec.detail = "boot failed (authenticated boot?)";
+                return rec;
+            }
+            dumps.push_back(attack.dumpL1(0, L1Ram::DData));
+        }
+        rec.booted = true;
+
+        std::vector<float> priors;
+        if (spec.use_priors)
+            priors = keyfind::decayFlipPriors(
+                soc.l1dData(0).model(), dumps.front().sizeBits(),
+                Seconds::milliseconds(spec.off_ms),
+                Temperature::celsius(spec.temp_c));
+
+        const keyfind::FusedDump fused =
+            keyfind::fuseDumps(dumps, priors);
+        rec.dump_bytes = fused.image.sizeBytes();
+        rec.bit_error_rate =
+            MemoryImage::fractionalHamming(fused.image, truth);
+        rec.accuracy = 1.0 - rec.bit_error_rate;
+        rec.kr_disagreeing_bits = fused.disagreeing_bits;
+
+        keyfind::KeyRecoveryConfig kcfg;
+        kcfg.jobs = 1; // Campaign workers parallelise over trials.
+        kcfg.use_priors = spec.use_priors;
+        const keyfind::KeyRecoveryEngine engine(kcfg);
+        const keyfind::RecoveryReport report =
+            engine.recover(dumps, priors);
+        rec.kr_scan_hits = report.scan_hits.size();
+        rec.kr_corrected_hits = report.corrected_hits.size();
+        rec.kr_correction_iterations = report.correction.iterations;
+        if (!report.scan_hits.empty())
+            rec.kr_bit_errors = report.scan_hits.front().bit_errors;
+        else if (!report.corrected_hits.empty())
+            rec.kr_bit_errors = report.corrected_hits.front()
+                                    .corrected.residual_bit_errors;
+        if (!report.corrected_hits.empty())
+            rec.kr_key_bits_flipped =
+                report.corrected_hits.front().corrected.key_bits_flipped;
+        rec.key_planted = true;
+        if (const auto best = report.bestKey()) {
+            rec.key_found = true;
+            rec.key_exact = *best == key;
+        }
         rec.status = TrialStatus::Ok;
         return rec;
     }

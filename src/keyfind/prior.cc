@@ -1,0 +1,106 @@
+#include "keyfind/prior.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace voltboot
+{
+namespace keyfind
+{
+
+namespace
+{
+
+/** Standard normal CDF. */
+inline double
+phi(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+constexpr float kPriorFloor = 1e-4f;
+constexpr float kPriorCeil = 0.5f;
+constexpr float kDisagreePrior = 0.45f;
+
+} // namespace
+
+std::vector<float>
+decayFlipPriors(const RetentionModel &model, size_t bits,
+                Seconds off_time, Temperature t, double profile_sigma_ln)
+{
+    std::vector<float> priors(bits, kPriorFloor);
+    if (off_time.seconds() <= 0.0)
+        return priors; // No unpowered interval: nothing decays.
+    const double ln_off = std::log(off_time.seconds());
+    const double ln_median = model.logMedianRetention(t);
+    const double sigma_cell = model.config().retention_sigma_ln;
+    const double sigma =
+        profile_sigma_ln > 0 ? profile_sigma_ln : 1e-6;
+    for (size_t cell = 0; cell < bits; ++cell) {
+        const CellParams p = model.cellParams(cell);
+        // The profiled estimate of this cell's log retention time; the
+        // loss probability is how far the off interval sits above it,
+        // in units of the profiling uncertainty.
+        const double ln_ret = ln_median + sigma_cell * p.retention_z;
+        const double p_loss = phi((ln_off - ln_ret) / sigma);
+        priors[cell] = std::clamp(static_cast<float>(0.5 * p_loss),
+                                  kPriorFloor, kPriorCeil);
+    }
+    return priors;
+}
+
+FusedDump
+fuseDumps(std::span<const MemoryImage> dumps,
+          std::span<const float> cell_flip_priors)
+{
+    if (dumps.empty())
+        fatal("fuseDumps: no dumps");
+    const size_t size = dumps[0].sizeBytes();
+    for (const MemoryImage &d : dumps)
+        if (d.sizeBytes() != size)
+            fatal("fuseDumps: dump sizes differ (", d.sizeBytes(),
+                  " vs ", size, ")");
+    if (!cell_flip_priors.empty() && cell_flip_priors.size() != size * 8)
+        fatal("fuseDumps: priors must hold one entry per bit, got ",
+              cell_flip_priors.size());
+
+    FusedDump out;
+    out.dumps = dumps.size();
+    out.flip_likelihood.resize(size * 8);
+    std::vector<uint8_t> bytes(size);
+    const size_t n = dumps.size();
+    for (size_t byte = 0; byte < size; ++byte) {
+        uint8_t fused = 0;
+        for (unsigned bit = 0; bit < 8; ++bit) {
+            const uint8_t mask = static_cast<uint8_t>(1u << bit);
+            size_t ones = 0;
+            for (const MemoryImage &d : dumps)
+                ones += (d.bytes()[byte] & mask) != 0;
+            bool value;
+            if (ones * 2 > n)
+                value = true;
+            else if (ones * 2 < n)
+                value = false;
+            else
+                value = (dumps[0].bytes()[byte] & mask) != 0;
+            if (value)
+                fused |= mask;
+            const size_t idx = byte * 8 + bit;
+            float p = cell_flip_priors.empty() ? 0.05f
+                                               : cell_flip_priors[idx];
+            if (ones != 0 && ones != n) {
+                p = std::max(p, kDisagreePrior);
+                ++out.disagreeing_bits;
+            }
+            out.flip_likelihood[idx] = p;
+        }
+        bytes[byte] = fused;
+    }
+    out.image = MemoryImage(std::move(bytes));
+    return out;
+}
+
+} // namespace keyfind
+} // namespace voltboot

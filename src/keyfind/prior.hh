@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-cell bit-flip priors and multi-dump evidence fusion.
+ *
+ * The corrector's local search is blind by default: it scores every
+ * candidate key-bit flip equally. But the physics is not uniform — a
+ * cell whose retention time sits far below the off interval almost
+ * certainly decayed, while a strong cell almost certainly kept its bit.
+ * The attacker can profile exactly this (DRV fingerprinting enrolls
+ * per-cell strength from repeated power-ups of the *same* silicon), so
+ * the simulator grants it directly from the RetentionModel: per-cell
+ * loss probabilities under the trial's off-time/temperature, widened by
+ * a profiling-noise sigma so the prior is informative rather than an
+ * oracle.
+ *
+ * Fusion implements the other classic cold-boot trick: power-cycle the
+ * victim N times and majority-vote the dumps. Decayed skewed cells
+ * resolve identically every time (no information), but the metastable
+ * fraction re-draws per power-up — disagreement across dumps marks a
+ * cell as decayed-and-unreliable, which is precisely where correction
+ * effort should go first.
+ */
+
+#ifndef VOLTBOOT_KEYFIND_PRIOR_HH
+#define VOLTBOOT_KEYFIND_PRIOR_HH
+
+#include <span>
+#include <vector>
+
+#include "sram/memory_image.hh"
+#include "sram/retention_model.hh"
+
+namespace voltboot
+{
+namespace keyfind
+{
+
+/**
+ * Per-bit flip likelihoods for a dump taken after @p off_time unpowered
+ * at temperature @p t, from the array's retention model. Entry i
+ * corresponds to image bit i (byte i/8, bit i%8, LSB-first — the
+ * MemoryImage::bitAt convention). Each likelihood is
+ * 0.5 * P(cell decayed), the decayed cell resolving to the stored
+ * value about half the time; @p profile_sigma_ln widens the per-cell
+ * retention estimate to model imperfect profiling. Values are clamped
+ * to [1e-4, 0.5] so no bit is ever considered certain.
+ */
+std::vector<float> decayFlipPriors(const RetentionModel &model,
+                                   size_t bits, Seconds off_time,
+                                   Temperature t,
+                                   double profile_sigma_ln = 0.5);
+
+/** Majority-voted dump plus per-bit reliability evidence. */
+struct FusedDump
+{
+    MemoryImage image;                 ///< Majority-vote of the dumps.
+    std::vector<float> flip_likelihood; ///< Per-bit flip prior.
+    size_t dumps = 0;                  ///< Dumps fused.
+    size_t disagreeing_bits = 0;       ///< Bits not unanimous across dumps.
+};
+
+/**
+ * Fuse equal-sized dumps of the same array by per-bit majority vote
+ * (ties resolve to the first dump's bit). The fused flip likelihood
+ * starts from @p cell_flip_priors when given (one entry per bit, e.g.
+ * decayFlipPriors) or a 0.05 floor otherwise, and is raised to at
+ * least 0.45 wherever the dumps disagree — a cell that reads
+ * differently across power cycles has certainly lost its data.
+ */
+FusedDump fuseDumps(std::span<const MemoryImage> dumps,
+                    std::span<const float> cell_flip_priors = {});
+
+} // namespace keyfind
+} // namespace voltboot
+
+#endif // VOLTBOOT_KEYFIND_PRIOR_HH

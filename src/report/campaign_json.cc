@@ -196,6 +196,25 @@ parseSweepJson(std::string_view text, const std::string &source)
             rec.se_read_fraction = num(r, "se_read_fraction", source);
         if (r.find("cpa_recovered"))
             rec.cpa_recovered = uns(r, "cpa_recovered", source);
+        if (r.find("dump_count"))
+            rec.dump_count = uns(r, "dump_count", source);
+        if (r.find("use_priors"))
+            rec.use_priors = boolean(r, "use_priors", source);
+        if (r.find("kr_scan_hits"))
+            rec.kr_scan_hits = uns(r, "kr_scan_hits", source);
+        if (r.find("kr_corrected_hits"))
+            rec.kr_corrected_hits = uns(r, "kr_corrected_hits", source);
+        if (r.find("kr_bit_errors"))
+            rec.kr_bit_errors = uns(r, "kr_bit_errors", source);
+        if (r.find("kr_key_bits_flipped"))
+            rec.kr_key_bits_flipped =
+                uns(r, "kr_key_bits_flipped", source);
+        if (r.find("kr_correction_iterations"))
+            rec.kr_correction_iterations =
+                uns(r, "kr_correction_iterations", source);
+        if (r.find("kr_disagreeing_bits"))
+            rec.kr_disagreeing_bits =
+                uns(r, "kr_disagreeing_bits", source);
         sweep.records.push_back(std::move(rec));
     }
 

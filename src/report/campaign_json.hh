@@ -70,6 +70,17 @@ struct SweepRecord
     bool se_zeroized = false;
     double se_read_fraction = 0.0;
     uint64_t cpa_recovered = 0;
+
+    /** Key-recovery axes and outcome; defaults when reading sweeps
+     * written before the keyfind engine existed. */
+    uint64_t dump_count = 1;
+    bool use_priors = false;
+    uint64_t kr_scan_hits = 0;
+    uint64_t kr_corrected_hits = 0;
+    uint64_t kr_bit_errors = 0;
+    uint64_t kr_key_bits_flipped = 0;
+    uint64_t kr_correction_iterations = 0;
+    uint64_t kr_disagreeing_bits = 0;
 };
 
 /** A whole sweep document. */

@@ -1,0 +1,154 @@
+#include "sim/word_popcount_batch.hh"
+
+#include <bit>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__) && \
+    !defined(VOLTBOOT_DISABLE_AVX512)
+#include <immintrin.h>
+#define VOLTBOOT_X86_WIDE_LANES 1
+#else
+#define VOLTBOOT_X86_WIDE_LANES 0
+#endif
+
+namespace voltboot
+{
+
+namespace
+{
+
+inline uint32_t
+load32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+void
+xorTriplePopcountScalar(const uint8_t *p, size_t oa, size_t ob, size_t oc,
+                        unsigned n, uint32_t *acc)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        const size_t lane = static_cast<size_t>(i) * 4;
+        acc[i] += static_cast<uint32_t>(
+            std::popcount(load32(p + lane + oa) ^ load32(p + lane + ob) ^
+                          load32(p + lane + oc)));
+    }
+}
+
+#if VOLTBOOT_X86_WIDE_LANES
+
+bool
+lutLanesSupported()
+{
+    static const bool ok = __builtin_cpu_supports("avx512f") &&
+                           __builtin_cpu_supports("avx512bw");
+    return ok;
+}
+
+bool
+popcntLanesSupported()
+{
+    static const bool ok = lutLanesSupported() &&
+                           __builtin_cpu_supports("avx512vpopcntdq");
+    return ok;
+}
+
+/**
+ * Sixteen lanes of the XOR-triple at once. The three loads are
+ * unaligned (lane stride 4 bytes), the XORs are lane-agnostic, and the
+ * per-32-bit-lane popcount is the only part that needs a dispatch:
+ * VPOPCNTDQ has it as one instruction, the BW fallback shuffles a
+ * nibble lookup table and folds bytes pairwise into 32-bit sums.
+ */
+__attribute__((target("avx512f,avx512vpopcntdq"))) void
+xorTriplePopcountVpopcnt(const uint8_t *p, size_t oa, size_t ob,
+                         size_t oc, unsigned n, uint32_t *acc)
+{
+    unsigned i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const uint8_t *lane = p + static_cast<size_t>(i) * 4;
+        const __m512i x = _mm512_xor_si512(
+            _mm512_xor_si512(
+                _mm512_loadu_si512(lane + oa),
+                _mm512_loadu_si512(lane + ob)),
+            _mm512_loadu_si512(lane + oc));
+        const __m512i sum = _mm512_popcnt_epi32(x);
+        _mm512_storeu_si512(acc + i,
+                            _mm512_add_epi32(
+                                _mm512_loadu_si512(acc + i), sum));
+    }
+    if (i < n)
+        xorTriplePopcountScalar(p + static_cast<size_t>(i) * 4, oa, ob,
+                                oc, n - i, acc + i);
+}
+
+__attribute__((target("avx512f,avx512bw"))) void
+xorTriplePopcountLut(const uint8_t *p, size_t oa, size_t ob, size_t oc,
+                     unsigned n, uint32_t *acc)
+{
+    // Per-byte popcount via two nibble shuffles, then 8->16->32 bit
+    // pairwise folds (maddubs/madd with all-ones) to per-lane sums.
+    const __m512i lut = _mm512_broadcast_i32x4(_mm_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4));
+    const __m512i low4 = _mm512_set1_epi8(0x0f);
+    const __m512i ones8 = _mm512_set1_epi8(1);
+    const __m512i ones16 = _mm512_set1_epi16(1);
+    unsigned i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const uint8_t *lane = p + static_cast<size_t>(i) * 4;
+        const __m512i x = _mm512_xor_si512(
+            _mm512_xor_si512(
+                _mm512_loadu_si512(lane + oa),
+                _mm512_loadu_si512(lane + ob)),
+            _mm512_loadu_si512(lane + oc));
+        const __m512i lo = _mm512_and_si512(x, low4);
+        const __m512i hi =
+            _mm512_and_si512(_mm512_srli_epi16(x, 4), low4);
+        const __m512i cnt8 =
+            _mm512_add_epi8(_mm512_shuffle_epi8(lut, lo),
+                            _mm512_shuffle_epi8(lut, hi));
+        const __m512i cnt16 = _mm512_maddubs_epi16(cnt8, ones8);
+        const __m512i sum = _mm512_madd_epi16(cnt16, ones16);
+        _mm512_storeu_si512(acc + i,
+                            _mm512_add_epi32(
+                                _mm512_loadu_si512(acc + i), sum));
+    }
+    if (i < n)
+        xorTriplePopcountScalar(p + static_cast<size_t>(i) * 4, oa, ob,
+                                oc, n - i, acc + i);
+}
+
+#endif // VOLTBOOT_X86_WIDE_LANES
+
+} // namespace
+
+bool
+wordPopcountAccelerated()
+{
+#if VOLTBOOT_X86_WIDE_LANES
+    return lutLanesSupported();
+#else
+    return false;
+#endif
+}
+
+void
+xorTriplePopcountAccumulate(const uint8_t *p, size_t oa, size_t ob,
+                            size_t oc, unsigned n, uint32_t *acc)
+{
+#if VOLTBOOT_X86_WIDE_LANES
+    if (popcntLanesSupported()) {
+        xorTriplePopcountVpopcnt(p, oa, ob, oc, n, acc);
+        return;
+    }
+    if (lutLanesSupported()) {
+        xorTriplePopcountLut(p, oa, ob, oc, n, acc);
+        return;
+    }
+#endif
+    xorTriplePopcountScalar(p, oa, ob, oc, n, acc);
+}
+
+} // namespace voltboot

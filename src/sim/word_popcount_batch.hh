@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Batched strided XOR+popcount over 32-bit words.
+ *
+ * The key-recovery scan (src/keyfind) scores one candidate schedule
+ * offset with a handful of *linear residuals*: popcounts of three-way
+ * XORs of 32-bit schedule words at fixed byte distances from the
+ * offset. Consecutive word-aligned offsets read consecutive 32-bit
+ * words, so sixteen candidate offsets map directly onto the 32-bit
+ * lanes of one AVX-512 vector: three unaligned loads, two XORs and a
+ * per-lane popcount score sixteen offsets per residual.
+ *
+ * Per-lane popcounts are exact small integers on every path, so the
+ * three implementations — AVX-512 VPOPCNTDQ where the CPU has it, an
+ * AVX-512BW nibble-LUT shuffle otherwise, and a scalar std::popcount
+ * loop everywhere else (including -DVOLTBOOT_DISABLE_AVX512=ON builds)
+ * — are bit-identical by construction, the same contract as
+ * sim/cell_hash_batch.
+ */
+
+#ifndef VOLTBOOT_SIM_WORD_POPCOUNT_BATCH_HH
+#define VOLTBOOT_SIM_WORD_POPCOUNT_BATCH_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace voltboot
+{
+
+/**
+ * For each lane i in [0, n): load the three little-endian 32-bit words
+ * at p + 4*i + oa, p + 4*i + ob, p + 4*i + oc, and add the popcount of
+ * their XOR into acc[i]. Lanes stride by 4 bytes (consecutive
+ * word-aligned candidate offsets). The caller guarantees every load
+ * stays inside its buffer. n is capped at 64 per call.
+ */
+void xorTriplePopcountAccumulate(const uint8_t *p, size_t oa, size_t ob,
+                                 size_t oc, unsigned n, uint32_t *acc);
+
+/** True when a vector path is compiled in and the CPU supports it
+ * (diagnostics/benchmarks; callers never need to check). */
+bool wordPopcountAccelerated();
+
+} // namespace voltboot
+
+#endif // VOLTBOOT_SIM_WORD_POPCOUNT_BATCH_HH

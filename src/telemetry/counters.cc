@@ -81,6 +81,12 @@ counterName(Counter c)
       case Counter::FingerprintEvictions:
         return "fingerprint_cache_evictions";
       case Counter::ArenaBytes: return "plane_arena_bytes";
+      case Counter::KeyfindOffsets: return "keyfind_offsets_scanned";
+      case Counter::KeyfindEarlyRejects:
+        return "keyfind_early_rejects";
+      case Counter::KeyfindCorrections: return "keyfind_corrections";
+      case Counter::KeyfindCorrectionIters:
+        return "keyfind_correction_iterations";
       case Counter::kCount: break;
     }
     return "?";

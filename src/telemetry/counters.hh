@@ -66,6 +66,10 @@ enum class Counter : unsigned
     FingerprintMisses,    ///< ... misses (plane derivations).
     FingerprintEvictions, ///< ... LRU evictions.
     ArenaBytes,      ///< Bytes of PlaneArena blocks allocated.
+    KeyfindOffsets,  ///< Candidate schedule offsets the keyfind scan scored.
+    KeyfindEarlyRejects, ///< Offsets the residual pre-filter rejected.
+    KeyfindCorrections,  ///< Key-correction attempts entered.
+    KeyfindCorrectionIters, ///< Local-search iterations across attempts.
     kCount
 };
 

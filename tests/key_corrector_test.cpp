@@ -120,6 +120,79 @@ TEST(KeyCorrector, GivesUpOnGarbage)
     EXPECT_FALSE(corrector.correct(junk, 16).has_value());
 }
 
+TEST(KeyCorrector, GarbageBailsDeterministicallyBeforeSearching)
+{
+    // Random data sits at ~50% residual fraction — the bistable-SRAM
+    // cold-boot regime. The noise gate must recognise it in one pass
+    // and report a structured reason instead of burning the iteration
+    // budget on schedule expansions.
+    Rng rng(5);
+    std::vector<uint8_t> junk(176);
+    for (auto &b : junk)
+        b = static_cast<uint8_t>(rng.next());
+    EXPECT_GT(KeyCorrector::linearResidualFraction(junk, 16), 0.40);
+
+    KeyCorrector corrector;
+    const auto attempt = corrector.attempt(junk, 16);
+    EXPECT_FALSE(attempt.key.has_value());
+    EXPECT_EQ(attempt.gave_up, GiveUpReason::ErrorFloor);
+    EXPECT_EQ(attempt.iterations, 0u);
+    // One distance eval to report the residual; no local search.
+    EXPECT_LE(attempt.distance_evals, 1u);
+    EXPECT_STREQ(toString(attempt.gave_up), "error_floor");
+}
+
+TEST(KeyCorrector, ResidualFractionTracksChannelNoise)
+{
+    const auto key = testKey(16, 17);
+    const auto clean = Aes::expandKey(key);
+    EXPECT_EQ(KeyCorrector::linearResidualFraction(clean, 16), 0.0);
+    // A true schedule at BER p violates ~3p of its relation bits.
+    const auto noisy = corrupt(clean, 0.02, 4242);
+    const double frac = KeyCorrector::linearResidualFraction(noisy, 16);
+    EXPECT_GT(frac, 0.01);
+    EXPECT_LT(frac, 0.15);
+}
+
+TEST(KeyCorrector, AttemptReportsSuccessWithNoReason)
+{
+    const auto key = testKey(16, 19);
+    auto sched = Aes::expandKey(key);
+    sched[2] ^= 0x08;
+    KeyCorrector corrector;
+    const auto attempt = corrector.attempt(sched, 16);
+    ASSERT_TRUE(attempt.key.has_value());
+    EXPECT_EQ(attempt.key->key, key);
+    EXPECT_EQ(attempt.gave_up, GiveUpReason::None);
+    EXPECT_GT(attempt.distance_evals, 0u);
+}
+
+TEST(KeyCorrector, ResidualWordRelationsHoldOnIdealSchedules)
+{
+    // Every relation word set must be XOR-exact on a clean schedule,
+    // for all three key sizes.
+    for (size_t kb : {16u, 24u, 32u}) {
+        const auto sched = Aes::expandKey(testKey(kb, 23));
+        const unsigned nk = static_cast<unsigned>(kb / 4);
+        for (unsigned i : scheduleResidualWords(kb)) {
+            uint32_t w[3];
+            std::memcpy(&w[0], sched.data() + 4 * i, 4);
+            std::memcpy(&w[1], sched.data() + 4 * (i - 1), 4);
+            std::memcpy(&w[2], sched.data() + 4 * (i - nk), 4);
+            EXPECT_EQ(w[0] ^ w[1] ^ w[2], 0u)
+                << "key bytes " << kb << " word " << i;
+        }
+    }
+}
+
+TEST(KeyCorrector, RejectsBadPriorSizes)
+{
+    const auto sched = Aes::expandKey(testKey(16, 29));
+    KeyCorrector corrector;
+    const std::vector<float> wrong(64, 0.1f);
+    EXPECT_THROW(corrector.attempt(sched, 16, wrong), FatalError);
+}
+
 TEST(KeyCorrector, Handles256BitKeys)
 {
     const auto key = testKey(32, 13);

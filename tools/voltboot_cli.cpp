@@ -521,6 +521,8 @@ monitorAxes(const SweepGrid &grid)
         {"hold-ns", grid.holds_ns.size()},
         {"readout-rate", grid.readout_rates.size()},
         {"cpa-window-ns", grid.cpa_windows_ns.size()},
+        {"dumps", grid.dump_counts.size()},
+        {"prior", grid.use_priors.size()},
         {"key", grid.plant_key.size()},
         {"seeds", grid.seed_count},
     };
@@ -681,6 +683,10 @@ cmdSweep(const SweepOptions &o)
     if (s.coupling_trials)
         std::cout << "coupling: " << s.coupling_trials << " trials, "
                   << s.cpa_key_bytes << " CPA key bytes recovered\n";
+    if (s.keyrecovery_trials)
+        std::cout << "key-recovery: " << s.keyrecovery_trials
+                  << " trials, " << s.keyrecovery_exact
+                  << " exact keys\n";
 
     if (!o.out_json.empty()) {
         CampaignResult::writeFile(o.out_json, result.toJson(o.timing));
@@ -898,7 +904,8 @@ usage(std::ostream &out)
            "           --attack overrides the grid's attack axis "
            "(voltboot,\n"
            "           coldboot, glitch, static-extract, "
-           "voltage-coupling) and\n"
+           "voltage-coupling,\n"
+           "           key-recovery) and\n"
            "           may be used without --grid for the default "
            "grid.\n"
            "           --list-axes prints every grid axis (key, unit, "
